@@ -1,0 +1,35 @@
+# Standalone assembly example for the sfi command-line tools:
+#
+#   dune exec bin/sfi.exe -- asm   examples/programs/checksum.s
+#   dune exec bin/sfi.exe -- run   examples/programs/checksum.s --dump 0x100:2
+#   dune exec bin/sfi.exe -- trace examples/programs/checksum.s -n 20
+#
+# Computes the sum and xor-checksum of a table of words; results are
+# stored at 0x100 and 0x104.
+
+        .entry start
+start:
+        l.movhi r2, hi(table)
+        l.ori   r2, r2, lo(table)
+        l.addi  r3, r0, 8           # element count
+        l.addi  r4, r0, 0           # running sum
+        l.addi  r5, r0, 0           # running xor
+        l.nop   0x10                # FI window opens (for `sfi campaign`-style studies)
+loop:
+        l.sfeqi r3, 0
+        l.bf    done
+        l.lwz   r6, 0(r2)
+        l.add   r4, r4, r6
+        l.xor   r5, r5, r6
+        l.addi  r2, r2, 4
+        l.addi  r3, r3, -1
+        l.j     loop
+done:
+        l.sw    0x100(r0), r4
+        l.sw    0x104(r0), r5
+        l.nop   0x11                # FI window closes
+        l.nop   0x1                 # exit
+
+table:
+        .word 0x1001, 0x2002, 0x3003, 0x4004
+        .word 0xdead, 0xbeef, 0xcafe, 0xf00d
