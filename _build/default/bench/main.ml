@@ -1,0 +1,154 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (DESIGN.md maps experiment ids to paper artifacts;
+   EXPERIMENTS.md records paper-vs-measured numbers):
+
+     dune exec bench/main.exe                 # all experiments, fast scale
+     dune exec bench/main.exe -- fig5 fig6    # a subset
+     dune exec bench/main.exe -- --paper      # paper-scale Monte-Carlo (slow)
+     dune exec bench/main.exe -- --bechamel   # only the Bechamel microbenches
+
+   After the experiment regeneration, a Bechamel micro-benchmark suite
+   times the computational core of each table/figure driver plus the
+   engine primitives (one [Test.make] per artifact). *)
+
+open Sfi_util
+open Sfi_core
+
+(* ---------- Bechamel microbenchmark suite ---------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  (* Shared fixtures, built once. *)
+  let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 600 } () in
+  let alu = Flow.alu flow in
+  let db = Flow.char_db flow ~vdd:0.7 in
+  let median_small = Sfi_kernels.Median.create ~n:17 () in
+  let matmul_small = Sfi_kernels.Matmul.create ~n:6 ~bits:8 () in
+  let model_c = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
+  let model_bplus = Flow.model_bplus flow ~vdd:0.7 ~sigma:0.010 in
+  let logic = Sfi_netlist.Logic_sim.create alu.Sfi_netlist.Alu.circuit in
+  let dta = Sfi_timing.Dta.create alu.Sfi_netlist.Alu.circuit in
+  let rng = Rng.of_int 77 in
+  let tests =
+    [
+      (* one Test.make per table / figure driver *)
+      Test.make ~name:"table1:iss-fault-free-run"
+        (Staged.stage (fun () -> ignore (Sfi_kernels.Bench.run_fault_free median_small)));
+      Test.make ~name:"table2:model-feature-rows"
+        (Staged.stage (fun () -> ignore (Sfi_fi.Model.feature_rows ())));
+      Test.make ~name:"fig1:bplus-injector-hook"
+        (Staged.stage (fun () ->
+             let injector =
+               Sfi_fi.Injector.create ~model:model_bplus ~freq_mhz:663. ~rng
+             in
+             ignore
+               (Sfi_fi.Injector.hook injector ~cycle:0 ~cls:Op_class.Add ~a:1 ~b:2
+                  ~result:3)));
+      Test.make ~name:"fig2:cdf-probability-eval"
+        (Staged.stage (fun () ->
+             ignore
+               (Sfi_timing.Characterize.error_probability db Op_class.Mul ~endpoint:24
+                  ~period_ps:1100. ~scale:1.03)));
+      Test.make ~name:"fig3:sta-full-alu"
+        (Staged.stage (fun () -> ignore (Sfi_timing.Sta.analyze alu.Sfi_netlist.Alu.circuit)));
+      Test.make ~name:"fig4:model-c-op-stream-100"
+        (Staged.stage (fun () ->
+             let injector = Sfi_fi.Injector.create ~model:model_c ~freq_mhz:850. ~rng in
+             let hook = Sfi_fi.Injector.hook injector in
+             for i = 1 to 100 do
+               let a = Rng.bits32 rng and b = Rng.bits32 rng in
+               ignore (hook ~cycle:i ~cls:Op_class.Add ~a ~b ~result:(U32.add a b))
+             done));
+      Test.make ~name:"fig5:mc-trial-median"
+        (Staged.stage (fun () ->
+             ignore
+               (Sfi_fi.Campaign.run_trial ~bench:median_small ~model:model_c
+                  ~freq_mhz:820. ~seed:(Rng.bits32 rng))));
+      Test.make ~name:"fig6:mc-trial-matmul"
+        (Staged.stage (fun () ->
+             ignore
+               (Sfi_fi.Campaign.run_trial ~bench:matmul_small ~model:model_c
+                  ~freq_mhz:760. ~seed:(Rng.bits32 rng))));
+      Test.make ~name:"fig7:power-model-eval"
+        (Staged.stage (fun () ->
+             ignore (Power.normalized ~vdd:0.66);
+             ignore (Power.equivalent_vdd Sfi_timing.Vdd_model.default ~headroom_ratio:1.05)));
+      (* engine primitives *)
+      Test.make ~name:"engine:logic-sim-alu-eval"
+        (Staged.stage (fun () ->
+             Sfi_netlist.Alu.drive alu logic Op_class.Mul (Rng.bits32 rng) (Rng.bits32 rng);
+             Sfi_netlist.Logic_sim.eval logic));
+      Test.make ~name:"engine:dta-alu-cycle"
+        (Staged.stage (fun () ->
+             Sfi_timing.Dta.set_input_vec dta alu.Sfi_netlist.Alu.a (Rng.bits32 rng);
+             Sfi_timing.Dta.set_input_vec dta alu.Sfi_netlist.Alu.b (Rng.bits32 rng);
+             Sfi_timing.Dta.cycle dta));
+      Test.make ~name:"engine:iss-small-program"
+        (Staged.stage
+           (let program =
+              Sfi_isa.Asm.assemble_exn
+                {|
+        l.addi r1, r0, 111
+loop:   l.addi r2, r2, 3
+        l.mul  r3, r2, r1
+        l.xor  r4, r3, r2
+        l.addi r1, r1, -1
+        l.sfnei r1, 0
+        l.bf   loop
+        l.nop  0x1
+                |}
+            in
+            fun () ->
+              let mem = Sfi_sim.Memory.create ~size:4096 in
+              Sfi_sim.Memory.load_program mem program;
+              ignore (Sfi_sim.Cpu.run mem ~entry:0)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"sfi" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  let t =
+    Table.create ~title:"Bechamel microbenchmarks (monotonic clock)"
+      [ ("benchmark", Table.Left); ("time/run", Table.Right) ]
+  in
+  let fmt_ns ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, est) -> Table.add_row t [ name; fmt_ns est ])
+    (List.sort compare !rows);
+  Table.print t
+
+(* ---------- driver ---------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let paper = List.mem "--paper" args in
+  let bechamel_only = List.mem "--bechamel" args in
+  let skip_bechamel = List.mem "--no-bechamel" args in
+  let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
+  if not bechamel_only then begin
+    let scale = if paper then Experiments.paper else Experiments.fast in
+    Printf.printf "regenerating %s at %s scale\n\n%!"
+      (if ids = [] then "all tables and figures" else String.concat ", " ids)
+      scale.Experiments.label;
+    let ctx = Experiments.make_ctx scale in
+    Experiments.run ctx ids
+  end;
+  if bechamel_only || ((not skip_bechamel) && ids = []) then bechamel_suite ()

@@ -1,0 +1,299 @@
+(* Command-line interface to the statistical fault injection toolkit. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---------- sfi experiments ---------- *)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let paper =
+    Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
+  let run ids paper list_only =
+    if list_only then
+      List.iter
+        (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
+        Sfi_core.Experiments.all
+    else begin
+      let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
+      let ctx = Sfi_core.Experiments.make_ctx scale in
+      Sfi_core.Experiments.run ctx ids
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ ids $ paper $ list_only)
+
+(* ---------- sfi flow ---------- *)
+
+let flow_cmd =
+  let char_cycles =
+    Arg.(value & opt int 2000 & info [ "cycles" ] ~doc:"DTA characterization cycles.")
+  in
+  let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ] ~doc:"Characterization voltage.") in
+  let run char_cycles vdd =
+    let config = { Sfi_core.Flow.default_config with Sfi_core.Flow.char_cycles } in
+    let flow = Sfi_core.Flow.create ~config () in
+    ignore (Sfi_core.Flow.char_db flow ~vdd);
+    print_string (Sfi_core.Flow.summary flow);
+    Printf.printf "per-class dynamic first-failure frequency [MHz] at %.2f V:\n" vdd;
+    let db = Sfi_core.Flow.char_db flow ~vdd in
+    List.iter
+      (fun cls ->
+        Printf.printf "  %-4s %8.1f\n" (Sfi_util.Op_class.name cls)
+          (Sfi_timing.Characterize.class_first_failure_mhz db cls ~scale:1.0))
+      Sfi_util.Op_class.all
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Build the gate-level flow and print its timing summary.")
+    Term.(const run $ char_cycles $ vdd)
+
+(* ---------- sfi asm ---------- *)
+
+let asm_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match Sfi_isa.Asm.assemble (read_file file) with
+    | Error e ->
+      Printf.eprintf "%s:%d: %s\n" file e.Sfi_isa.Asm.line e.Sfi_isa.Asm.message;
+      exit 1
+    | Ok program ->
+      print_string (Sfi_isa.Program.disassemble program);
+      Printf.printf "# entry 0x%x, image limit 0x%x, %d initialized words\n"
+        program.Sfi_isa.Program.entry program.Sfi_isa.Program.limit
+        (Array.length program.Sfi_isa.Program.words)
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble an OR1K-subset source file and print the listing.")
+    Term.(const run $ file)
+
+(* ---------- sfi run ---------- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let max_cycles =
+    Arg.(value & opt int 50_000_000 & info [ "max-cycles" ] ~doc:"Watchdog budget.")
+  in
+  let mem_size =
+    Arg.(value & opt int 65536 & info [ "mem" ] ~doc:"Memory size in bytes (power of two).")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"ADDR:COUNT" ~doc:"Dump COUNT words from ADDR after the run.")
+  in
+  let run file max_cycles mem_size dump =
+    let program = Sfi_isa.Asm.assemble_exn (read_file file) in
+    let mem = Sfi_sim.Memory.create ~size:mem_size in
+    Sfi_sim.Memory.load_program mem program;
+    let config = { Sfi_sim.Cpu.default_config with Sfi_sim.Cpu.max_cycles } in
+    let stats = Sfi_sim.Cpu.run ~config mem ~entry:program.Sfi_isa.Program.entry in
+    let outcome =
+      match stats.Sfi_sim.Cpu.outcome with
+      | Sfi_sim.Cpu.Exited -> "exited"
+      | Sfi_sim.Cpu.Watchdog -> "watchdog"
+      | Sfi_sim.Cpu.Trapped m -> "trapped: " ^ m
+    in
+    Printf.printf "outcome: %s\ncycles: %d\ninstret: %d\nipc: %.3f\nkernel cycles: %d\n"
+      outcome stats.Sfi_sim.Cpu.cycles stats.Sfi_sim.Cpu.instret
+      (Sfi_sim.Cpu.ipc stats) stats.Sfi_sim.Cpu.kernel_cycles;
+    match dump with
+    | None -> ()
+    | Some spec -> begin
+      match String.split_on_char ':' spec with
+      | [ a; c ] -> begin
+        match (int_of_string_opt a, int_of_string_opt c) with
+        | Some addr, Some count ->
+          Array.iteri
+            (fun i w -> Printf.printf "%08x: %s\n" (addr + (4 * i)) (Sfi_util.U32.to_hex w))
+            (Sfi_sim.Memory.read_u32_array mem ~addr ~count)
+        | _ -> prerr_endline "bad --dump spec"
+      end
+      | _ -> prerr_endline "bad --dump spec"
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and execute a program on the cycle-accurate ISS.")
+    Term.(const run $ file $ max_cycles $ mem_size $ dump)
+
+(* ---------- sfi campaign ---------- *)
+
+let campaign_cmd =
+  let bench_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BENCH" ~doc:"median, mat_mult_8bit, mat_mult_16bit, kmeans, dijkstra.")
+  in
+  let model_name =
+    Arg.(value & opt string "C" & info [ "model" ] ~doc:"A, B, B+, C or C-corr.")
+  in
+  let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ]) in
+  let sigma_mv = Arg.(value & opt float 10. & info [ "sigma" ] ~doc:"Noise sigma in mV.") in
+  let trials = Arg.(value & opt int 50 & info [ "trials" ]) in
+  let lo = Arg.(value & opt float 650. & info [ "from" ] ~doc:"Sweep start, MHz.") in
+  let hi = Arg.(value & opt float 1000. & info [ "to" ] ~doc:"Sweep end, MHz.") in
+  let step = Arg.(value & opt float 25. & info [ "step" ] ~doc:"Sweep step, MHz.") in
+  let prob =
+    Arg.(value & opt float 1e-6 & info [ "prob" ] ~doc:"Bit-flip probability for model A.")
+  in
+  let char_cycles = Arg.(value & opt int 2000 & info [ "cycles" ]) in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
+  in
+  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv =
+    match Sfi_kernels.Registry.by_name bench_name with
+    | None ->
+      Printf.eprintf "unknown benchmark %s (try: %s)\n" bench_name
+        (String.concat ", " Sfi_kernels.Registry.names);
+      exit 1
+    | Some bench ->
+      let config = { Sfi_core.Flow.default_config with Sfi_core.Flow.char_cycles } in
+      let flow = Sfi_core.Flow.create ~config () in
+      let sigma = sigma_mv /. 1000. in
+      let model =
+        match String.uppercase_ascii model_name with
+        | "A" -> Sfi_core.Flow.model_a ~bit_flip_prob:prob
+        | "B" -> Sfi_core.Flow.model_b flow ~vdd
+        | "B+" -> Sfi_core.Flow.model_bplus flow ~vdd ~sigma
+        | "C" -> Sfi_core.Flow.model_c flow ~vdd ~sigma ()
+        | "C-CORR" ->
+          Sfi_core.Flow.model_c ~sampling:Sfi_fi.Model.Vector_correlated flow ~vdd ~sigma ()
+        | other ->
+          Printf.eprintf "unknown model %s\n" other;
+          exit 1
+      in
+      let rec freqs f = if f > hi +. 1e-9 then [] else f :: freqs (f +. step) in
+      let points =
+        Sfi_fi.Campaign.sweep ~trials ~bench ~model ~freqs_mhz:(freqs lo) ()
+      in
+      let t =
+        Sfi_util.Table.create
+          ~title:
+            (Printf.sprintf "%s under model %s at %.2f V, sigma %.0f mV" bench_name
+               model_name vdd sigma_mv)
+          [
+            ("f [MHz]", Sfi_util.Table.Right);
+            ("finished", Sfi_util.Table.Right);
+            ("correct", Sfi_util.Table.Right);
+            ("FI/kCycle", Sfi_util.Table.Right);
+            (bench.Sfi_kernels.Bench.metric_name, Sfi_util.Table.Right);
+          ]
+      in
+      List.iter
+        (fun (p : Sfi_fi.Campaign.point) ->
+          Sfi_util.Table.add_row t
+            [
+              Printf.sprintf "%.1f" p.Sfi_fi.Campaign.freq_mhz;
+              Sfi_util.Table.fmt_pct p.Sfi_fi.Campaign.finished_rate;
+              Sfi_util.Table.fmt_pct p.Sfi_fi.Campaign.correct_rate;
+              (if p.Sfi_fi.Campaign.any_fault_possible then
+                 Printf.sprintf "%.3g" p.Sfi_fi.Campaign.fi_per_kcycle
+               else "n/a");
+              Sfi_util.Table.fmt_float p.Sfi_fi.Campaign.mean_error;
+            ])
+        points;
+      Sfi_util.Table.print t;
+      match csv with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Sfi_util.Table.to_csv t));
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
+    Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
+          $ prob $ char_cycles $ csv)
+
+(* ---------- sfi verilog ---------- *)
+
+let verilog_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let sized = Arg.(value & flag & info [ "sized" ] ~doc:"Apply the virtual-synthesis sizing first.") in
+  let run out sized =
+    let alu = Sfi_netlist.Alu.build () in
+    if sized then begin
+      Sfi_timing.Sizing.apply_process_variation ~sigma:0.03 ~seed:1
+        alu.Sfi_netlist.Alu.circuit;
+      Sfi_timing.Sizing.size_to_clock ~clock_mhz:707. alu.Sfi_netlist.Alu.circuit
+    end;
+    match out with
+    | Some path ->
+      Sfi_netlist.Verilog.write_file ~module_name:"sfi_alu" ~path alu.Sfi_netlist.Alu.circuit;
+      Printf.printf "wrote %s (%d gates)\n" path
+        (Sfi_netlist.Circuit.gate_count alu.Sfi_netlist.Alu.circuit)
+    | None ->
+      print_string Sfi_netlist.Verilog.cell_definitions;
+      print_string (Sfi_netlist.Verilog.to_string ~module_name:"sfi_alu" alu.Sfi_netlist.Alu.circuit)
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Export the EX-stage ALU netlist as structural Verilog.")
+    Term.(const run $ out $ sized)
+
+(* ---------- sfi paths ---------- *)
+
+let paths_cmd =
+  let count = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Endpoints to report.") in
+  let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ]) in
+  let run count vdd =
+    let alu = Sfi_netlist.Alu.build () in
+    Sfi_timing.Sizing.apply_process_variation ~sigma:0.03 ~seed:1 alu.Sfi_netlist.Alu.circuit;
+    Sfi_timing.Sizing.size_to_clock ~clock_mhz:707. alu.Sfi_netlist.Alu.circuit;
+    List.iter
+      (fun p -> print_string (Sfi_timing.Path_report.pp p))
+      (Sfi_timing.Path_report.worst_paths ~vdd ~count alu.Sfi_netlist.Alu.circuit)
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Report the critical paths of the sized ALU netlist.")
+    Term.(const run $ count $ vdd)
+
+(* ---------- sfi trace ---------- *)
+
+let trace_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let limit = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Instructions to trace.") in
+  let run file limit =
+    let program = Sfi_isa.Asm.assemble_exn (read_file file) in
+    let mem = Sfi_sim.Memory.create ~size:65536 in
+    Sfi_sim.Memory.load_program mem program;
+    let remaining = ref limit in
+    let trace ~pc insn =
+      if !remaining > 0 then begin
+        decr remaining;
+        Printf.printf "%08x:  %s\n" pc (Sfi_isa.Insn.to_string insn)
+      end
+    in
+    let config =
+      { Sfi_sim.Cpu.default_config with Sfi_sim.Cpu.trace = Some trace;
+        Sfi_sim.Cpu.max_cycles = 10_000_000 }
+    in
+    let stats = Sfi_sim.Cpu.run ~config mem ~entry:program.Sfi_isa.Program.entry in
+    Printf.printf "... %d instructions retired in %d cycles\n" stats.Sfi_sim.Cpu.instret
+      stats.Sfi_sim.Cpu.cycles
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Execute a program and print the first N retired instructions.")
+    Term.(const run $ file $ limit)
+
+let main =
+  Cmd.group
+    (Cmd.info "sfi" ~version:"1.0.0"
+       ~doc:
+         "Statistical fault injection for impact-evaluation of timing errors (DAC'16 \
+          reproduction).")
+    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; verilog_cmd; paths_cmd;
+      trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Flow List Printf Rng Sfi_core Sfi_fi Sfi_isa Sfi_kernels Sfi_sim Sfi_util U32

@@ -1,0 +1,1 @@
+examples/instruction_characterization.ml: Characterize Flow List Op_class Printf Sfi_core Sfi_timing Sfi_util Sta Table

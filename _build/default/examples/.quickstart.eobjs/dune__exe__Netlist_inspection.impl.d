@@ -1,0 +1,1 @@
+examples/netlist_inspection.ml: Alu Cell Cell_lib Circuit Filename List Path_report Printf Sfi_netlist Sfi_timing Sizing Sta Verilog

@@ -1,0 +1,1 @@
+examples/netlist_inspection.mli:

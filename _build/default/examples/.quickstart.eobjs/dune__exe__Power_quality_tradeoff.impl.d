@@ -1,0 +1,1 @@
+examples/power_quality_tradeoff.ml: Flow List Power Printf Sfi_core Sfi_fi Sfi_kernels

@@ -1,0 +1,1 @@
+examples/power_quality_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flow List Printf Sfi_core Sfi_fi Sfi_kernels

@@ -1,0 +1,1 @@
+examples/voltage_noise_explorer.ml: Arg Cmd Cmdliner Flow List Printf Sfi_core Sfi_fi Sfi_kernels Sfi_util String Table Term

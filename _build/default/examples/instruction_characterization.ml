@@ -1,0 +1,68 @@
+(* Instruction characterization: where does each ALU operation start to
+   fail, and which result bits go first?
+
+   This reproduces the paper's Fig. 2 / Fig. 4 style analysis directly
+   from the DTA database: per-instruction-class dynamic timing limits,
+   per-bit error-probability CDFs, and the effect of operand bit-width.
+
+     dune exec examples/instruction_characterization.exe *)
+
+open Sfi_util
+open Sfi_timing
+open Sfi_core
+
+let () =
+  let config = { Flow.default_config with Flow.char_cycles = 2000 } in
+  let flow = Flow.create ~config () in
+  let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
+  Printf.printf "STA limit: %.1f MHz @ 0.7 V\n\n%!" fsta;
+
+  (* Dynamic timing limit of each class, at both supply voltages. *)
+  let db07 = Flow.char_db flow ~vdd:0.7 in
+  let db08 = Flow.char_db flow ~vdd:0.8 in
+  let t =
+    Table.create ~title:"Dynamic first-failure frequency per instruction class [MHz]"
+      [ ("class", Table.Left); ("@0.7V", Table.Right); ("@0.8V", Table.Right);
+        ("margin over STA", Table.Right) ]
+  in
+  List.iter
+    (fun cls ->
+      let f07 = Characterize.class_first_failure_mhz db07 cls ~scale:1.0 in
+      let f08 = Characterize.class_first_failure_mhz db08 cls ~scale:1.0 in
+      Table.add_row t
+        [
+          Op_class.name cls;
+          Printf.sprintf "%.0f" f07;
+          Printf.sprintf "%.0f" f08;
+          Printf.sprintf "%+.1f%%" (100. *. (f07 -. fsta) /. fsta);
+        ])
+    Op_class.all;
+  Table.print t;
+
+  (* Per-bit CDFs for the multiplier (compare with the paper's Fig. 2). *)
+  print_endline "Timing-error probability of l.mul endpoints at 0.7 V:";
+  let freqs = [ 750.; 800.; 850.; 900.; 1000.; 1100.; 1300. ] in
+  Printf.printf "%8s" "bit";
+  List.iter (fun f -> Printf.printf "%9.0f" f) freqs;
+  print_newline ();
+  List.iter
+    (fun bit ->
+      Printf.printf "%8d" bit;
+      List.iter
+        (fun f ->
+          let p =
+            Characterize.error_probability db07 Op_class.Mul ~endpoint:bit
+              ~period_ps:(Sta.period_ps_of_mhz f) ~scale:1.0
+          in
+          Printf.printf "%8.1f%%" (100. *. p))
+        freqs;
+      print_newline ())
+    [ 0; 3; 8; 16; 24; 31 ];
+
+  (* Operand bit-width conditioning (the paper's 16-bit variants). *)
+  let db16 = Flow.char_db ~profile:Characterize.uniform16 flow ~vdd:0.7 in
+  Printf.printf
+    "\nOperand conditioning: l.add fails at %.0f MHz with 32-bit operands\n\
+     but only at %.0f MHz when operands span a 16-bit range (paper Fig. 4).\n"
+    (Characterize.class_first_failure_mhz db07 Op_class.Add ~scale:1.0)
+    (Characterize.class_first_failure_mhz db16 Op_class.Add ~scale:1.0)

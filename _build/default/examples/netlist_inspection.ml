@@ -1,0 +1,49 @@
+(* Netlist inspection: look inside the gate-level model the fault
+   statistics come from — cell inventory, per-unit sizing, the critical
+   paths through the multiplier, and a structural Verilog export for use
+   with external tools.
+
+     dune exec examples/netlist_inspection.exe *)
+
+open Sfi_netlist
+open Sfi_timing
+
+let () =
+  let alu = Alu.build () in
+  Printf.printf "generated ALU: %d gates, logic depth %d, area %.0f units\n"
+    (Circuit.gate_count alu.Alu.circuit)
+    (Circuit.logic_depth alu.Alu.circuit)
+    (Circuit.total_area alu.Alu.circuit ~lib:Cell_lib.default);
+  print_endline "cell inventory:";
+  List.iter
+    (fun (kind, n) -> Printf.printf "  %-6s %5d\n" (Cell.name kind) n)
+    (Circuit.count_by_kind alu.Alu.circuit);
+  print_endline "gates per unit:";
+  List.iter
+    (fun (tag, n) -> Printf.printf "  %-8s %5d\n" tag n)
+    (Circuit.count_by_tag alu.Alu.circuit);
+
+  (* Virtual synthesis against the case study's 707 MHz constraint. *)
+  Sizing.apply_process_variation ~sigma:0.03 ~seed:1 alu.Alu.circuit;
+  Sizing.size_to_clock ~clock_mhz:707. alu.Alu.circuit;
+  print_endline "\nper-unit worst paths after sizing (ps @ 0.7 V):";
+  List.iter
+    (fun (tag, worst) -> Printf.printf "  %-8s %7.1f\n" tag worst)
+    (Sizing.report alu.Alu.circuit);
+  let sta = Sta.analyze alu.Alu.circuit in
+  Printf.printf "STA limit: %.1f MHz\n\n" (Sta.max_frequency_mhz sta);
+
+  (* Where does the clock period actually go? *)
+  print_endline "critical path of the slowest endpoint:";
+  (match Path_report.worst_paths ~count:1 alu.Alu.circuit with
+  | [ p ] -> print_string (Path_report.pp p)
+  | _ -> ());
+
+  (* Export for external tools. *)
+  let path = Filename.temp_file "sfi_alu" ".v" in
+  Verilog.write_file ~module_name:"sfi_alu" ~path alu.Alu.circuit;
+  Printf.printf "\nstructural Verilog written to %s\n" path;
+
+  (* The cell library is plain text, editable and reloadable. *)
+  print_endline "\ncell library (mini-Liberty text format):";
+  print_string (Cell_lib.to_text Cell_lib.default)

@@ -1,0 +1,79 @@
+(* Voltage/noise explorer: a parameterized study of any benchmark kernel
+   under model C — benchmark, supply, noise level and frequency window as
+   command-line flags.
+
+     dune exec examples/voltage_noise_explorer.exe -- --bench dijkstra --sigma 25
+     dune exec examples/voltage_noise_explorer.exe -- --bench mat_mult_8bit --vdd 0.8 *)
+
+open Cmdliner
+open Sfi_util
+open Sfi_core
+
+let explore bench_name vdd sigma_mv trials points =
+  match Sfi_kernels.Registry.by_name bench_name with
+  | None ->
+    Printf.eprintf "unknown benchmark %S; available: %s\n" bench_name
+      (String.concat ", " Sfi_kernels.Registry.names);
+    exit 1
+  | Some bench ->
+    let config = { Flow.default_config with Flow.char_cycles = 2000 } in
+    let flow = Flow.create ~config () in
+    let sigma = sigma_mv /. 1000. in
+    let fsta = Flow.sta_limit_mhz flow ~vdd in
+    let model = Flow.model_c flow ~vdd ~sigma () in
+    (* Window the sweep around the transition region: from well inside the
+       safe zone to deep over-scaling. *)
+    let freqs =
+      List.init points (fun i ->
+          fsta *. (0.88 +. (0.50 *. float_of_int i /. float_of_int (points - 1))))
+    in
+    let results = Sfi_fi.Campaign.sweep ~trials ~bench ~model ~freqs_mhz:freqs () in
+    let t =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s under model C: Vdd %.2f V (STA %.0f MHz), sigma %.0f mV, %d trials"
+             bench_name vdd fsta sigma_mv trials)
+        [
+          ("f [MHz]", Table.Right);
+          ("f/fSTA", Table.Right);
+          ("finished", Table.Right);
+          ("correct", Table.Right);
+          ("FI/kCycle", Table.Right);
+          (bench.Sfi_kernels.Bench.metric_name, Table.Right);
+        ]
+    in
+    List.iter
+      (fun (p : Sfi_fi.Campaign.point) ->
+        Table.add_row t
+          [
+            Printf.sprintf "%.1f" p.Sfi_fi.Campaign.freq_mhz;
+            Printf.sprintf "%.3f" (p.Sfi_fi.Campaign.freq_mhz /. fsta);
+            Table.fmt_pct p.Sfi_fi.Campaign.finished_rate;
+            Table.fmt_pct p.Sfi_fi.Campaign.correct_rate;
+            (if p.Sfi_fi.Campaign.any_fault_possible then
+               Printf.sprintf "%.3g" p.Sfi_fi.Campaign.fi_per_kcycle
+             else "n/a");
+            Table.fmt_float p.Sfi_fi.Campaign.mean_error;
+          ])
+      results;
+    Table.print t;
+    match Sfi_fi.Campaign.point_of_first_failure results with
+    | Some poff ->
+      Printf.printf "point of first failure: %.1f MHz (%+.1f%% vs STA)\n" poff
+        (100. *. (poff -. fsta) /. fsta)
+    | None -> print_endline "no failures in the swept window"
+
+let cmd =
+  let bench =
+    Arg.(value & opt string "median" & info [ "bench" ] ~doc:"Benchmark kernel name.")
+  in
+  let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ] ~doc:"Supply voltage [V].") in
+  let sigma = Arg.(value & opt float 10. & info [ "sigma" ] ~doc:"Noise sigma [mV].") in
+  let trials = Arg.(value & opt int 30 & info [ "trials" ]) in
+  let points = Arg.(value & opt int 16 & info [ "points" ] ~doc:"Frequency points.") in
+  Cmd.v
+    (Cmd.info "voltage_noise_explorer"
+       ~doc:"Explore a kernel's failure behaviour across frequency under model C.")
+    Term.(const explore $ bench $ vdd $ sigma $ trials $ points)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Alu Cell_lib Characterize Sfi_fi Sfi_netlist Sfi_timing Sizing Sta Vdd_model

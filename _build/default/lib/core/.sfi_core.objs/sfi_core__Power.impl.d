@@ -1,0 +1,1 @@
+lib/core/power.ml: Float List Sfi_timing Vdd_model

@@ -1,0 +1,1 @@
+lib/core/power.mli: Sfi_timing

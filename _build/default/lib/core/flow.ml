@@ -1,0 +1,148 @@
+open Sfi_netlist
+open Sfi_timing
+
+type config = {
+  clock_mhz : float;
+  char_cycles : int;
+  char_seed : int;
+  process_sigma : float;
+  die_seed : int;
+  corner_factor : float;
+  lib : Cell_lib.t;
+  vdd_model : Vdd_model.t;
+  targets : Sizing.unit_target list;
+}
+
+let default_config =
+  {
+    clock_mhz = 707.;
+    char_cycles = 8000;
+    char_seed = 0xD7A;
+    process_sigma = 0.03;
+    die_seed = 1;
+    corner_factor = 1.0;
+    lib = Cell_lib.default;
+    vdd_model = Vdd_model.default;
+    targets = Sizing.default_targets;
+  }
+
+type t = {
+  config : config;
+  alu : Alu.t;
+  sta : Sta.report;
+  dbs : (float * string, Characterize.t) Hashtbl.t;
+}
+
+let create ?(config = default_config) () =
+  let alu = Alu.build ~lib:config.lib () in
+  (* Variation first, sizing second: the sizing pass normalizes each unit's
+     worst path against the clock on the varied die, so the STA limit lands
+     exactly on the constraint; the corner factor then shifts the whole die. *)
+  Sizing.apply_process_variation ~sigma:config.process_sigma ~seed:config.die_seed
+    alu.Alu.circuit;
+  Sizing.size_to_clock ~targets:config.targets ~clock_mhz:config.clock_mhz alu.Alu.circuit;
+  if config.corner_factor <> 1.0 then
+    Circuit.scale_gate_delays alu.Alu.circuit (fun _ -> config.corner_factor);
+  let sta = Sta.analyze ~lib:config.lib ~vdd_model:config.vdd_model alu.Alu.circuit in
+  { config; alu; sta; dbs = Hashtbl.create 8 }
+
+let config t = t.config
+
+let alu t = t.alu
+
+let sta t = t.sta
+
+let sta_limit_mhz t ~vdd =
+  let report =
+    if vdd = Vdd_model.nominal_voltage then t.sta
+    else Sta.analyze ~vdd ~lib:t.config.lib ~vdd_model:t.config.vdd_model t.alu.Alu.circuit
+  in
+  Sta.max_frequency_mhz report
+
+let char_db ?(profile = Characterize.uniform32) t ~vdd =
+  let key = (vdd, profile.Characterize.profile_name) in
+  match Hashtbl.find_opt t.dbs key with
+  | Some db -> db
+  | None ->
+    let db =
+      Characterize.run ~cycles:t.config.char_cycles ~seed:t.config.char_seed
+        ~vdd_model:t.config.vdd_model ~lib:t.config.lib
+        ~profile_for:(fun _ -> profile)
+        ~vdd t.alu
+    in
+    Hashtbl.replace t.dbs key db;
+    db
+
+let model_a ~bit_flip_prob = Sfi_fi.Model.Fixed_probability { bit_flip_prob }
+
+let endpoint_arrivals_at t ~vdd =
+  let report =
+    if vdd = Vdd_model.nominal_voltage then t.sta
+    else Sta.analyze ~vdd ~lib:t.config.lib ~vdd_model:t.config.vdd_model t.alu.Alu.circuit
+  in
+  Array.map snd report.Sta.endpoints
+
+let model_b t ~vdd =
+  Sfi_fi.Model.Static_timing
+    {
+      endpoint_arrivals = endpoint_arrivals_at t ~vdd;
+      setup_ps = Sta.default_setup_ps;
+      vdd;
+      noise = Noise.none;
+      vdd_model = t.config.vdd_model;
+    }
+
+let model_bplus t ~vdd ~sigma =
+  Sfi_fi.Model.Static_timing
+    {
+      endpoint_arrivals = endpoint_arrivals_at t ~vdd;
+      setup_ps = Sta.default_setup_ps;
+      vdd;
+      noise = Noise.create ~sigma ();
+      vdd_model = t.config.vdd_model;
+    }
+
+let model_c ?(sampling = Sfi_fi.Model.Independent) ?(profile = Characterize.uniform32)
+    ?operating_vdd t ~vdd ~sigma () =
+  let db = char_db ~profile t ~vdd in
+  Sfi_fi.Model.Statistical
+    {
+      db;
+      vdd = Option.value operating_vdd ~default:vdd;
+      noise = Noise.create ~sigma ();
+      vdd_model = t.config.vdd_model;
+      sampling;
+    }
+
+let summary t =
+  let buf = Buffer.create 512 in
+  let circuit = t.alu.Alu.circuit in
+  Buffer.add_string buf "statistical fault injection flow (cf. paper Fig. 3)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  gate-level netlist : %d gates, depth %d, area %.0f units\n"
+       (Circuit.gate_count circuit) (Circuit.logic_depth circuit)
+       (Circuit.total_area circuit ~lib:t.config.lib));
+  List.iter
+    (fun (kind, count) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      %-6s x %d\n" (Sfi_netlist.Cell.name kind) count))
+    (Circuit.count_by_kind circuit);
+  Buffer.add_string buf "  virtual synthesis  : worst path per unit (ps @ 0.7 V)\n";
+  List.iter
+    (fun (tag, worst) ->
+      Buffer.add_string buf (Printf.sprintf "      %-8s %7.1f\n" tag worst))
+    (Sizing.report circuit);
+  Buffer.add_string buf
+    (Printf.sprintf "  STA                : worst %.1f ps -> limit %.1f MHz @ 0.7 V\n"
+       t.sta.Sta.worst
+       (Sta.max_frequency_mhz t.sta));
+  Buffer.add_string buf
+    (Printf.sprintf "  DTA characterization cache: %d database(s), %d cycles each\n"
+       (Hashtbl.length t.dbs) t.config.char_cycles);
+  Hashtbl.iter
+    (fun (vdd, profile) (db : Characterize.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      vdd=%.2f V profile=%s max settle %.1f ps\n" vdd profile
+           db.Characterize.max_settle))
+    t.dbs;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+open Sfi_timing
+
+(* Quadratic active power through the paper's reference points:
+   p(V) = a V^2 with a fitted by least squares to
+   (0.6, 10.9) and (0.7, 15.0) uW/MHz. *)
+let quad_coeff =
+  let pts = [ (0.6, 10.9); (0.7, 15.0) ] in
+  let num = List.fold_left (fun acc (v, p) -> acc +. (v *. v *. p)) 0. pts in
+  let den = List.fold_left (fun acc (v, _) -> acc +. (v ** 4.)) 0. pts in
+  num /. den
+
+let active_uw_per_mhz ~vdd = quad_coeff *. vdd *. vdd
+
+let leakage_fraction ~vdd =
+  let f = 0.02 +. ((vdd -. 0.6) *. 0.1) in
+  Float.max 0.005 (Float.min 0.10 f)
+
+let total_mw ~vdd ~freq_mhz =
+  let active = active_uw_per_mhz ~vdd *. freq_mhz /. 1000. in
+  active /. (1. -. leakage_fraction ~vdd)
+
+let normalized ~vdd = total_mw ~vdd ~freq_mhz:707. /. total_mw ~vdd:0.7 ~freq_mhz:707.
+
+let equivalent_vdd vdd_model ~headroom_ratio =
+  if headroom_ratio < 1. then invalid_arg "Power.equivalent_vdd: ratio must be >= 1";
+  (* Bisection on the monotone derate curve: find V with
+     derate(V) = headroom_ratio (derate(0.7) = 1). *)
+  let target = headroom_ratio in
+  let lo = ref 0.45 and hi = ref 0.7 in
+  for _ = 1 to 60 do
+    let mid = (!lo +. !hi) /. 2. in
+    if Vdd_model.derate vdd_model mid > target then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2.

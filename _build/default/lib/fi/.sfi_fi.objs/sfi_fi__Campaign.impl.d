@@ -1,0 +1,1 @@
+lib/fi/campaign.ml: Bench Cpu Float Hashtbl Injector List Rng Sfi_isa Sfi_kernels Sfi_sim Sfi_util

@@ -1,0 +1,1 @@
+lib/fi/campaign.mli: Bench Model Sfi_kernels

@@ -1,0 +1,1 @@
+lib/fi/injector.ml: Array Cdf Characterize Float Model Noise Op_class Rng Sfi_sim Sfi_timing Sfi_util Sta U32 Vdd_model

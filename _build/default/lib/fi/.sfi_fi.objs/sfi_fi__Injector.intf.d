@@ -1,0 +1,1 @@
+lib/fi/injector.mli: Model Rng Sfi_sim Sfi_util

@@ -1,0 +1,1 @@
+lib/fi/model.ml: Characterize Noise Sfi_timing Vdd_model

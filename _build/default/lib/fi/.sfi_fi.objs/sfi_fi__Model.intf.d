@@ -1,0 +1,1 @@
+lib/fi/model.mli: Characterize Noise Sfi_timing Vdd_model

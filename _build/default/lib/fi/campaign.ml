@@ -1,0 +1,129 @@
+open Sfi_util
+open Sfi_sim
+open Sfi_kernels
+
+type trial = {
+  finished : bool;
+  correct : bool;
+  fault_bits : int;
+  fault_events : int;
+  kernel_cycles : int;
+  error : float;
+}
+
+type point = {
+  freq_mhz : float;
+  trials : int;
+  finished_rate : float;
+  correct_rate : float;
+  fi_per_kcycle : float;
+  mean_error : float;
+  any_fault_possible : bool;
+}
+
+(* Fault-free cycle counts, cached per benchmark so watchdog budgets do
+   not require a reference run per trial. *)
+let reference_cycles =
+  let cache : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  fun (bench : Bench.t) ->
+    match Hashtbl.find_opt cache bench.Bench.name with
+    | Some c -> c
+    | None ->
+      let stats, _ = Bench.run_fault_free bench in
+      Hashtbl.replace cache bench.Bench.name stats.Cpu.cycles;
+      stats.Cpu.cycles
+
+let run_trial_with ~bench ~model ~freq_mhz ~rng =
+  let injector = Injector.create ~model ~freq_mhz ~rng in
+  let budget = (3 * reference_cycles bench) + 65536 in
+  let config =
+    {
+      Cpu.default_config with
+      Cpu.max_cycles = budget;
+      Cpu.fault_hook = Some (Injector.hook injector);
+    }
+  in
+  let mem = Bench.fresh_memory bench in
+  let stats = Cpu.run ~config mem ~entry:bench.Bench.program.Sfi_isa.Program.entry in
+  let finished = stats.Cpu.outcome = Cpu.Exited in
+  let actual = if finished then Bench.read_output bench mem else [||] in
+  let correct = finished && actual = bench.Bench.golden in
+  let error =
+    if finished then bench.Bench.metric ~expected:bench.Bench.golden ~actual else nan
+  in
+  let kernel_cycles = max 1 stats.Cpu.kernel_cycles in
+  {
+    finished;
+    correct;
+    fault_bits = Injector.fault_bits injector;
+    fault_events = Injector.fault_events injector;
+    kernel_cycles;
+    error;
+  }
+
+let run_trial ~bench ~model ~freq_mhz ~seed =
+  run_trial_with ~bench ~model ~freq_mhz ~rng:(Rng.of_int seed)
+
+let aggregate ~freq_mhz ~any_fault_possible trials_list =
+  let n = List.length trials_list in
+  let fn = float_of_int n in
+  let finished_rate =
+    float_of_int (List.length (List.filter (fun t -> t.finished) trials_list)) /. fn
+  in
+  let correct_rate =
+    float_of_int (List.length (List.filter (fun t -> t.correct) trials_list)) /. fn
+  in
+  let fi_per_kcycle =
+    List.fold_left
+      (fun acc t -> acc +. (1000. *. float_of_int t.fault_bits /. float_of_int t.kernel_cycles))
+      0. trials_list
+    /. fn
+  in
+  let finished_errors =
+    List.filter_map (fun t -> if t.finished then Some t.error else None) trials_list
+  in
+  let mean_error =
+    match finished_errors with
+    | [] -> nan
+    | errs -> List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs)
+  in
+  {
+    freq_mhz;
+    trials = n;
+    finished_rate;
+    correct_rate;
+    fi_per_kcycle;
+    mean_error;
+    any_fault_possible;
+  }
+
+let run_point ?(trials = 100) ?(seed = 1) ~bench ~model ~freq_mhz () =
+  if trials < 1 then invalid_arg "Campaign.run_point: trials must be positive";
+  let root = Rng.of_int (seed lxor 0x0F1) in
+  let probe = Injector.create ~model ~freq_mhz ~rng:(Rng.copy root) in
+  if Injector.cannot_inject probe then begin
+    (* Deterministic fault-free region: one run represents all trials. *)
+    let t = run_trial_with ~bench ~model ~freq_mhz ~rng:(Rng.copy root) in
+    aggregate ~freq_mhz ~any_fault_possible:false [ t ]
+  end
+  else begin
+    let results =
+      List.init trials (fun _ ->
+          let rng = Rng.split root in
+          run_trial_with ~bench ~model ~freq_mhz ~rng)
+    in
+    aggregate ~freq_mhz ~any_fault_possible:true results
+  end
+
+let sweep ?(trials = 100) ?(seed = 1) ~bench ~model ~freqs_mhz () =
+  List.map (fun freq_mhz -> run_point ~trials ~seed ~bench ~model ~freq_mhz ()) freqs_mhz
+
+let point_of_first_failure points =
+  points
+  |> List.filter (fun p -> p.correct_rate < 1.0)
+  |> List.fold_left
+       (fun acc p ->
+         match acc with
+         | None -> Some p.freq_mhz
+         | Some f -> Some (Float.min f p.freq_mhz))
+       None

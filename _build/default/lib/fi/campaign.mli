@@ -1,0 +1,62 @@
+(** Monte-Carlo fault-injection campaigns over a benchmark kernel.
+
+    One {e point} is a (benchmark, model, frequency) triple evaluated with
+    [trials] independent simulations (different RNG streams split from one
+    seed). The four application-level metrics of Fig. 5/6 are aggregated:
+    probability to finish, probability of a fully correct result, fault
+    injection rate in FIs per 1000 kernel cycles, and the benchmark's
+    output-error metric averaged over the runs that finished.
+
+    When the injector proves that no fault can occur at the operating
+    point (the grayed-out "n/a" regions of the paper's figures), a single
+    fault-free run stands in for all trials. *)
+
+open Sfi_kernels
+
+type trial = {
+  finished : bool;
+  correct : bool;
+  fault_bits : int;
+  fault_events : int;
+  kernel_cycles : int;
+  error : float;  (** output metric; [nan] when the run did not finish *)
+}
+
+type point = {
+  freq_mhz : float;
+  trials : int;
+  finished_rate : float;
+  correct_rate : float;
+  fi_per_kcycle : float;   (** mean bit flips per 1000 kernel cycles *)
+  mean_error : float;      (** mean metric over finished runs; [nan] if none *)
+  any_fault_possible : bool;
+}
+
+val run_trial :
+  bench:Bench.t -> model:Model.t -> freq_mhz:float -> seed:int -> trial
+(** One simulation with its own RNG stream; watchdog set to 3x the
+    fault-free cycle count (+64k slack). *)
+
+val run_point :
+  ?trials:int ->
+  ?seed:int ->
+  bench:Bench.t ->
+  model:Model.t ->
+  freq_mhz:float ->
+  unit ->
+  point
+(** Default 100 trials (the paper's minimum per data point). *)
+
+val sweep :
+  ?trials:int ->
+  ?seed:int ->
+  bench:Bench.t ->
+  model:Model.t ->
+  freqs_mhz:float list ->
+  unit ->
+  point list
+
+val point_of_first_failure : point list -> float option
+(** Lowest swept frequency at which the correct-rate drops below 100%
+    (the PoFF of the paper: where the application first does not finish
+    with a fully correct result). *)

@@ -1,0 +1,155 @@
+open Sfi_util
+open Sfi_timing
+
+type t = {
+  hook : Sfi_sim.Cpu.fault_hook;
+  mutable bits : int;
+  mutable events : int;
+  by_class : int array;
+  cannot : bool;
+}
+
+let record t cls mask =
+  if mask <> 0 then begin
+    let n = U32.popcount mask in
+    t.bits <- t.bits + n;
+    t.events <- t.events + 1;
+    let i = Op_class.index cls in
+    t.by_class.(i) <- t.by_class.(i) + n
+  end;
+  mask
+
+(* Worst-case (slowest) delay modulation this noise model can produce at
+   this operating voltage, relative to the voltage the timing data was
+   taken at. *)
+let worst_scale ~vdd_model ~vdd ~ref_vdd ~noise =
+  Vdd_model.derate vdd_model (vdd -. Noise.max_excursion noise)
+  /. Vdd_model.derate vdd_model ref_vdd
+
+let scale_of_noise ~vdd_model ~vdd ~ref_vdd noise_v =
+  Vdd_model.derate vdd_model (vdd +. noise_v) /. Vdd_model.derate vdd_model ref_vdd
+
+let create ~model ~freq_mhz ~rng =
+  let period = Sta.period_ps_of_mhz freq_mhz in
+  match model with
+  | Model.Fixed_probability { bit_flip_prob } ->
+    let cannot = bit_flip_prob <= 0. in
+    let rec t =
+      {
+        hook =
+          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            if cannot then 0
+            else begin
+              let mask = ref 0 in
+              for e = 0 to 31 do
+                if Rng.bernoulli rng bit_flip_prob then mask := !mask lor (1 lsl e)
+              done;
+              record t cls !mask
+            end);
+        bits = 0;
+        events = 0;
+        by_class = Array.make Op_class.count 0;
+        cannot;
+      }
+    in
+    t
+  | Model.Static_timing { endpoint_arrivals; setup_ps; vdd; noise; vdd_model } ->
+    let with_setup = Array.map (fun a -> a +. setup_ps) endpoint_arrivals in
+    let max_arrival = Array.fold_left Float.max 0. with_setup in
+    let cannot =
+      max_arrival *. worst_scale ~vdd_model ~vdd ~ref_vdd:vdd ~noise <= period
+    in
+    let mask_at threshold =
+      (* threshold = period / scale; endpoint faults iff arrival+setup
+         exceeds it *)
+      let mask = ref 0 in
+      Array.iteri (fun e a -> if a > threshold then mask := !mask lor (1 lsl e)) with_setup;
+      !mask
+    in
+    let static_mask = mask_at period in
+    let has_noise = Noise.sigma noise > 0. in
+    let rec t =
+      {
+        hook =
+          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            if cannot then 0
+            else if not has_noise then record t cls static_mask
+            else begin
+              let nv = Noise.draw noise rng in
+              let scale = scale_of_noise ~vdd_model ~vdd ~ref_vdd:vdd nv in
+              record t cls (mask_at (period /. scale))
+            end);
+        bits = 0;
+        events = 0;
+        by_class = Array.make Op_class.count 0;
+        cannot;
+      }
+    in
+    t
+  | Model.Statistical { db; vdd; noise; vdd_model; sampling } ->
+    let ref_vdd = db.Characterize.vdd in
+    let setup = db.Characterize.setup_ps in
+    let cannot =
+      let ws = worst_scale ~vdd_model ~vdd ~ref_vdd ~noise in
+      (db.Characterize.max_settle +. setup) *. ws <= period
+    in
+    (* Per class: per-endpoint maximum settle, for cheap skipping. *)
+    let class_caps =
+      Array.map
+        (fun (c : Characterize.class_db) ->
+          Array.map Cdf.max_value c.Characterize.endpoint_cdfs)
+        db.Characterize.classes
+    in
+    let rec t =
+      {
+        hook =
+          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            if cannot then 0
+            else begin
+              let nv = Noise.draw noise rng in
+              let scale = scale_of_noise ~vdd_model ~vdd ~ref_vdd nv in
+              let threshold = (period /. scale) -. setup in
+              let ci = Op_class.index cls in
+              let cdb = db.Characterize.classes.(ci) in
+              if cdb.Characterize.max_settle <= threshold then 0
+              else begin
+                match sampling with
+                | Model.Vector_correlated ->
+                  let k = Rng.int rng db.Characterize.cycles in
+                  let row = cdb.Characterize.cycle_arrivals.(k) in
+                  let mask = ref 0 in
+                  Array.iteri
+                    (fun e s -> if s > threshold then mask := !mask lor (1 lsl e))
+                    row;
+                  record t cls !mask
+                | Model.Independent ->
+                  let caps = class_caps.(ci) in
+                  let mask = ref 0 in
+                  for e = 0 to Array.length caps - 1 do
+                    if caps.(e) > threshold then begin
+                      let p =
+                        Cdf.prob_greater cdb.Characterize.endpoint_cdfs.(e) threshold
+                      in
+                      if Rng.bernoulli rng p then mask := !mask lor (1 lsl e)
+                    end
+                  done;
+                  record t cls !mask
+              end
+            end);
+        bits = 0;
+        events = 0;
+        by_class = Array.make Op_class.count 0;
+        cannot;
+      }
+    in
+    t
+
+let hook t = t.hook
+
+let fault_bits t = t.bits
+
+let fault_events t = t.events
+
+let fault_bits_by_class t = Array.copy t.by_class
+
+let cannot_inject t = t.cannot

@@ -1,0 +1,83 @@
+open Sfi_timing
+
+type sampling = Independent | Vector_correlated
+
+type t =
+  | Fixed_probability of { bit_flip_prob : float }
+  | Static_timing of {
+      endpoint_arrivals : float array;
+      setup_ps : float;
+      vdd : float;
+      noise : Noise.t;
+      vdd_model : Vdd_model.t;
+    }
+  | Statistical of {
+      db : Characterize.t;
+      vdd : float;
+      noise : Noise.t;
+      vdd_model : Vdd_model.t;
+      sampling : sampling;
+    }
+
+let name = function
+  | Fixed_probability _ -> "A"
+  | Static_timing { noise; _ } -> if Noise.sigma noise = 0. then "B" else "B+"
+  | Statistical { sampling = Independent; _ } -> "C"
+  | Statistical { sampling = Vector_correlated; _ } -> "C-corr"
+
+type features = {
+  technique : string;
+  timing_data : string;
+  multi_vdd : bool;
+  vdd_noise : bool;
+  gate_level_aware : string;
+  instruction_aware : bool;
+}
+
+let features_a =
+  {
+    technique = "fixed probability";
+    timing_data = "none";
+    multi_vdd = false;
+    vdd_noise = false;
+    gate_level_aware = "no";
+    instruction_aware = false;
+  }
+
+let features_b =
+  {
+    technique = "fixed period violation";
+    timing_data = "STA";
+    multi_vdd = true;
+    vdd_noise = false;
+    gate_level_aware = "partially";
+    instruction_aware = false;
+  }
+
+let features_bplus =
+  {
+    technique = "modulated period violation";
+    timing_data = "STA";
+    multi_vdd = true;
+    vdd_noise = true;
+    gate_level_aware = "partially";
+    instruction_aware = false;
+  }
+
+let features_c =
+  {
+    technique = "probabilistic period violation (using CDFs)";
+    timing_data = "DTA";
+    multi_vdd = true;
+    vdd_noise = true;
+    gate_level_aware = "yes";
+    instruction_aware = true;
+  }
+
+let features = function
+  | Fixed_probability _ -> features_a
+  | Static_timing { noise; _ } -> if Noise.sigma noise = 0. then features_b else features_bplus
+  | Statistical _ -> features_c
+
+let feature_rows () =
+  [ ("A", features_a); ("B", features_b); ("B+", features_bplus); ("C", features_c) ]

@@ -1,0 +1,60 @@
+(** The four timing-error models of Table 2.
+
+    - Model A — fixed-probability random bit flips, the conventional
+      baseline: no link to timing, voltage, or the circuit.
+    - Model B — static-timing based: a fault hits every endpoint whose
+      worst static path exceeds the clock period, whenever any ALU
+      instruction activates the stage.
+    - Model B+ — model B with per-cycle supply-voltage noise modulating
+      all path delays through the fitted Vdd-delay curve.
+    - Model C — the paper's contribution: instruction-aware statistical
+      injection using per-endpoint DTA distributions, combined with the
+      noise model.
+
+    Model C supports two endpoint-sampling strategies: [Independent]
+    (each endpoint drawn with its own probability — the paper's §3.4
+    step 3) and [Vector_correlated] (one characterization cycle drawn
+    per simulation cycle, yielding the joint endpoint pattern that cycle
+    produced — an extension evaluated as an ablation). *)
+
+open Sfi_timing
+
+type sampling = Independent | Vector_correlated
+
+type t =
+  | Fixed_probability of { bit_flip_prob : float }
+  | Static_timing of {
+      endpoint_arrivals : float array;  (** per-endpoint worst STA arrival,
+                                            ps, at the operating voltage *)
+      setup_ps : float;
+      vdd : float;
+      noise : Noise.t;                  (** [Noise.none] gives model B *)
+      vdd_model : Vdd_model.t;
+    }
+  | Statistical of {
+      db : Characterize.t;
+      vdd : float;      (** operating voltage; CDFs characterized at
+                            [db.vdd] are rescaled when it differs *)
+      noise : Noise.t;
+      vdd_model : Vdd_model.t;
+      sampling : sampling;
+    }
+
+val name : t -> string
+(** "A", "B", "B+", "C" or "C-corr". *)
+
+type features = {
+  technique : string;
+  timing_data : string;
+  multi_vdd : bool;
+  vdd_noise : bool;
+  gate_level_aware : string;
+  instruction_aware : bool;
+}
+
+val features : t -> features
+(** The Table 2 row for the model. *)
+
+val feature_rows : unit -> (string * features) list
+(** All four rows of Table 2 (static metadata, independent of any
+    instantiation). *)

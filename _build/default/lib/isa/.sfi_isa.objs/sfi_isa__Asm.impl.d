@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Encode Insn List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Insn Option Result Sfi_util U32

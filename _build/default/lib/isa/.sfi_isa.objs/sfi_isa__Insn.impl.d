@@ -1,0 +1,1 @@
+lib/isa/insn.ml: List Op_class Printf Sfi_util

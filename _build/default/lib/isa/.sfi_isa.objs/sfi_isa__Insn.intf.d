@@ -1,0 +1,1 @@
+lib/isa/insn.mli: Op_class Sfi_util

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Buffer Encode Hashtbl Insn List Printf Sfi_util U32

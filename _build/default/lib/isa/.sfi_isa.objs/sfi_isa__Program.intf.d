@@ -1,0 +1,1 @@
+lib/isa/program.mli: Insn Sfi_util U32

@@ -1,0 +1,399 @@
+type error = { line : int; message : string }
+
+exception Asm_error of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Asm_error { line; message })) fmt
+
+(* ---------- expressions ---------- *)
+
+type expr =
+  | Num of int
+  | Sym of string
+  | Plus of expr * expr
+  | Minus of expr * expr
+  | Hi of expr
+  | Lo of expr
+
+(* Recursive-descent parser over a string; grammar:
+     expr   := term (('+' | '-') term)*
+     term   := number | symbol | 'hi' '(' expr ')' | 'lo' '(' expr ')'
+               | '-' term *)
+let parse_expr ~line s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '$'
+  in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred s.[!pos] do
+      incr pos
+    done;
+    String.sub s start (!pos - start)
+  in
+  let rec term () =
+    skip_ws ();
+    match peek () with
+    | None -> fail line "expected expression in %S" s
+    | Some '-' ->
+      incr pos;
+      let t = term () in
+      Minus (Num 0, t)
+    | Some '(' ->
+      incr pos;
+      let e = expr () in
+      skip_ws ();
+      if peek () = Some ')' then begin
+        incr pos;
+        e
+      end
+      else fail line "missing ')' in %S" s
+    | Some c when c >= '0' && c <= '9' ->
+      let tok = read_while (fun c -> is_ident_char c) in
+      (match int_of_string_opt tok with
+      | Some v -> Num v
+      | None -> fail line "bad number %S" tok)
+    | Some c when is_ident_char c ->
+      let tok = read_while is_ident_char in
+      skip_ws ();
+      if (tok = "hi" || tok = "lo") && peek () = Some '(' then begin
+        incr pos;
+        let e = expr () in
+        skip_ws ();
+        if peek () <> Some ')' then fail line "missing ')' after %s(" tok;
+        incr pos;
+        if tok = "hi" then Hi e else Lo e
+      end
+      else Sym tok
+    | Some c -> fail line "unexpected character %C in %S" c s
+  and expr () =
+    let lhs = ref (term ()) in
+    let continue = ref true in
+    while !continue do
+      skip_ws ();
+      match peek () with
+      | Some '+' ->
+        incr pos;
+        lhs := Plus (!lhs, term ())
+      | Some '-' ->
+        incr pos;
+        lhs := Minus (!lhs, term ())
+      | _ -> continue := false
+    done;
+    !lhs
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> n then fail line "trailing junk in expression %S" s;
+  e
+
+let rec eval_expr ~line ~symbols = function
+  | Num v -> v
+  | Sym name -> begin
+    match List.assoc_opt name symbols with
+    | Some v -> v
+    | None -> fail line "undefined symbol %S" name
+  end
+  | Plus (a, b) -> eval_expr ~line ~symbols a + eval_expr ~line ~symbols b
+  | Minus (a, b) -> eval_expr ~line ~symbols a - eval_expr ~line ~symbols b
+  | Hi e -> (eval_expr ~line ~symbols e lsr 16) land 0xFFFF
+  | Lo e -> eval_expr ~line ~symbols e land 0xFFFF
+
+(* ---------- line scanning ---------- *)
+
+let strip_comment line =
+  let cut = ref (String.length line) in
+  let check i c =
+    match c with
+    | '#' | ';' -> if i < !cut then cut := i
+    | '/' when i + 1 < String.length line && line.[i + 1] = '/' -> if i < !cut then cut := i
+    | _ -> ()
+  in
+  String.iteri check line;
+  String.sub line 0 !cut
+
+let split_commas s =
+  (* Split on commas that are not inside parentheses. *)
+  let parts = ref [] in
+  let depth = ref 0 in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '(' -> incr depth
+      | ')' -> decr depth
+      | ',' when !depth = 0 ->
+        parts := String.sub s !start (i - !start) :: !parts;
+        start := i + 1
+      | _ -> ())
+    s;
+  parts := String.sub s !start (String.length s - !start) :: !parts;
+  List.rev_map String.trim !parts
+
+type item =
+  | I_insn of { line : int; addr : int; mnemonic : string; operands : string list }
+  | I_word of { line : int; addr : int; exprs : expr list }
+
+(* ---------- operand parsing ---------- *)
+
+let parse_reg ~line s =
+  let s = String.trim s in
+  let bad () = fail line "expected register, got %S" s in
+  if String.length s < 2 || (s.[0] <> 'r' && s.[0] <> 'R') then bad ();
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some v when v >= 0 && v <= 31 -> v
+  | _ -> bad ()
+
+(* "imm(rA)" *)
+let parse_mem ~line s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail line "expected offset(register), got %S" s
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then fail line "missing ')' in %S" s;
+    let off = String.sub s 0 i in
+    let reg = String.sub s (i + 1) (String.length s - i - 2) in
+    (parse_expr ~line (String.trim off), parse_reg ~line reg)
+
+let parse_imm ~line ~symbols s = eval_expr ~line ~symbols (parse_expr ~line s)
+
+let branch_offset ~line ~addr target =
+  let delta = target - addr in
+  if delta land 3 <> 0 then fail line "branch target not word aligned (0x%x)" target;
+  delta asr 2
+
+(* ---------- instruction table ---------- *)
+
+let parse_insn ~line ~addr ~symbols mnemonic operands =
+  let imm s = parse_imm ~line ~symbols s in
+  let reg s = parse_reg ~line s in
+  let target s = branch_offset ~line ~addr (imm s) in
+  let rrr f =
+    match operands with
+    | [ d; a; b ] -> f (reg d) (reg a) (reg b)
+    | _ -> fail line "%s expects rD, rA, rB" mnemonic
+  in
+  let rri f =
+    match operands with
+    | [ d; a; i ] -> f (reg d) (reg a) (imm i)
+    | _ -> fail line "%s expects rD, rA, immediate" mnemonic
+  in
+  let load f =
+    match operands with
+    | [ d; m ] ->
+      let off, base = parse_mem ~line m in
+      f (reg d) (eval_expr ~line ~symbols off) base
+    | _ -> fail line "%s expects rD, offset(rA)" mnemonic
+  in
+  let store f =
+    match operands with
+    | [ m; b ] ->
+      let off, base = parse_mem ~line m in
+      f (eval_expr ~line ~symbols off) base (reg b)
+    | _ -> fail line "%s expects offset(rA), rB" mnemonic
+  in
+  let jump f =
+    match operands with
+    | [ t ] -> f (target t)
+    | _ -> fail line "%s expects a target" mnemonic
+  in
+  let one_reg f =
+    match operands with
+    | [ r ] -> f (reg r)
+    | _ -> fail line "%s expects a register" mnemonic
+  in
+  let cmp_rr c =
+    match operands with
+    | [ a; b ] -> Insn.Sf (c, reg a, reg b)
+    | _ -> fail line "%s expects rA, rB" mnemonic
+  in
+  let cmp_ri c =
+    match operands with
+    | [ a; i ] -> Insn.Sfi (c, reg a, imm i)
+    | _ -> fail line "%s expects rA, immediate" mnemonic
+  in
+  match mnemonic with
+  | "l.add" -> rrr (fun d a b -> Insn.Add (d, a, b))
+  | "l.sub" -> rrr (fun d a b -> Insn.Sub (d, a, b))
+  | "l.and" -> rrr (fun d a b -> Insn.And (d, a, b))
+  | "l.or" -> rrr (fun d a b -> Insn.Or (d, a, b))
+  | "l.xor" -> rrr (fun d a b -> Insn.Xor (d, a, b))
+  | "l.mul" -> rrr (fun d a b -> Insn.Mul (d, a, b))
+  | "l.sll" -> rrr (fun d a b -> Insn.Sll (d, a, b))
+  | "l.srl" -> rrr (fun d a b -> Insn.Srl (d, a, b))
+  | "l.sra" -> rrr (fun d a b -> Insn.Sra (d, a, b))
+  | "l.addi" -> rri (fun d a i -> Insn.Addi (d, a, i))
+  | "l.andi" -> rri (fun d a i -> Insn.Andi (d, a, i))
+  | "l.ori" -> rri (fun d a i -> Insn.Ori (d, a, i))
+  | "l.xori" -> rri (fun d a i -> Insn.Xori (d, a, i))
+  | "l.muli" -> rri (fun d a i -> Insn.Muli (d, a, i))
+  | "l.slli" -> rri (fun d a i -> Insn.Slli (d, a, i))
+  | "l.srli" -> rri (fun d a i -> Insn.Srli (d, a, i))
+  | "l.srai" -> rri (fun d a i -> Insn.Srai (d, a, i))
+  | "l.movhi" -> begin
+    match operands with
+    | [ d; k ] -> Insn.Movhi (reg d, imm k)
+    | _ -> fail line "l.movhi expects rD, constant"
+  end
+  | "l.j" -> jump (fun n -> Insn.J n)
+  | "l.jal" -> jump (fun n -> Insn.Jal n)
+  | "l.bf" -> jump (fun n -> Insn.Bf n)
+  | "l.bnf" -> jump (fun n -> Insn.Bnf n)
+  | "l.jr" -> one_reg (fun r -> Insn.Jr r)
+  | "l.jalr" -> one_reg (fun r -> Insn.Jalr r)
+  | "l.lwz" -> load (fun d i a -> Insn.Lwz (d, i, a))
+  | "l.lhz" -> load (fun d i a -> Insn.Lhz (d, i, a))
+  | "l.lbz" -> load (fun d i a -> Insn.Lbz (d, i, a))
+  | "l.sw" -> store (fun i a b -> Insn.Sw (i, a, b))
+  | "l.sh" -> store (fun i a b -> Insn.Sh (i, a, b))
+  | "l.sb" -> store (fun i a b -> Insn.Sb (i, a, b))
+  | "l.nop" -> begin
+    match operands with
+    | [] -> Insn.Nop 0
+    | [ k ] -> Insn.Nop (imm k)
+    | _ -> fail line "l.nop expects at most one constant"
+  end
+  | _ -> begin
+    (* l.sfXX / l.sfXXi family *)
+    let prefix = "l.sf" in
+    let plen = String.length prefix in
+    if String.length mnemonic > plen && String.sub mnemonic 0 plen = prefix then begin
+      let rest = String.sub mnemonic plen (String.length mnemonic - plen) in
+      let is_imm = String.length rest > 1 && rest.[String.length rest - 1] = 'i'
+                   && Insn.cmp_of_name rest = None in
+      let cond_name =
+        if is_imm then String.sub rest 0 (String.length rest - 1) else rest
+      in
+      match Insn.cmp_of_name cond_name with
+      | Some c -> if is_imm then cmp_ri c else cmp_rr c
+      | None -> fail line "unknown mnemonic %S" mnemonic
+    end
+    else fail line "unknown mnemonic %S" mnemonic
+  end
+
+(* ---------- assembler driver ---------- *)
+
+let assemble source =
+  try
+    let lines = String.split_on_char '\n' source in
+    let lc = ref 0 in
+    let items = ref [] in
+    let symbols = ref [] in
+    let entry_sym = ref None in
+    let limit = ref 0 in
+    let bump n =
+      lc := !lc + n;
+      if !lc > !limit then limit := !lc
+    in
+    List.iteri
+      (fun idx raw ->
+        let line = idx + 1 in
+        let text = String.trim (strip_comment raw) in
+        if text <> "" then begin
+          (* Peel leading labels. *)
+          let rec peel text =
+            match String.index_opt text ':' with
+            | Some i
+              when i > 0
+                   && String.for_all
+                        (fun c ->
+                          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                          || (c >= '0' && c <= '9') || c = '_' || c = '.' || c = '$')
+                        (String.sub text 0 i) ->
+              let name = String.sub text 0 i in
+              if List.mem_assoc name !symbols then fail line "duplicate label %S" name;
+              symbols := (name, !lc) :: !symbols;
+              peel (String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+            | _ -> text
+          in
+          let text = peel text in
+          if text <> "" then begin
+            let mnemonic, rest =
+              match String.index_opt text ' ' with
+              | Some i ->
+                ( String.sub text 0 i,
+                  String.trim (String.sub text (i + 1) (String.length text - i - 1)) )
+              | None -> (text, "")
+            in
+            let mnemonic = String.lowercase_ascii mnemonic in
+            match mnemonic with
+            | ".org" -> begin
+              match int_of_string_opt rest with
+              | Some v when v >= 0 ->
+                lc := v;
+                if !lc > !limit then limit := !lc
+              | _ -> fail line ".org expects a literal address"
+            end
+            | ".align" -> begin
+              match int_of_string_opt rest with
+              | Some v when v > 0 -> bump ((v - (!lc mod v)) mod v)
+              | _ -> fail line ".align expects a positive literal"
+            end
+            | ".space" -> begin
+              match int_of_string_opt rest with
+              | Some v when v >= 0 -> bump v
+              | _ -> fail line ".space expects a non-negative literal"
+            end
+            | ".entry" ->
+              if rest = "" then fail line ".entry expects a label";
+              entry_sym := Some (line, rest)
+            | ".word" ->
+              let exprs = List.map (parse_expr ~line) (split_commas rest) in
+              items := I_word { line; addr = !lc; exprs } :: !items;
+              bump (4 * List.length exprs)
+            | _ when mnemonic.[0] = '.' -> fail line "unknown directive %S" mnemonic
+            | _ ->
+              let operands = if rest = "" then [] else split_commas rest in
+              items := I_insn { line; addr = !lc; mnemonic; operands } :: !items;
+              bump 4
+          end
+        end)
+      lines;
+    let symbols = !symbols in
+    let words =
+      List.rev !items
+      |> List.concat_map (function
+           | I_word { line; addr; exprs } ->
+             List.mapi
+               (fun i e ->
+                 (addr + (4 * i), eval_expr ~line ~symbols e land 0xFFFF_FFFF))
+               exprs
+           | I_insn { line; addr; mnemonic; operands } ->
+             let insn = parse_insn ~line ~addr ~symbols mnemonic operands in
+             (match Encode.check_immediates insn with
+             | Ok () -> ()
+             | Error msg -> fail line "%s: %s" (Insn.to_string insn) msg);
+             [ (addr, Encode.encode insn) ])
+    in
+    let words = List.sort (fun (a, _) (b, _) -> compare a b) words in
+    let rec check_overlap = function
+      | (a1, _) :: ((a2, _) :: _ as rest) ->
+        if a2 < a1 + 4 then
+          raise (Asm_error { line = 0; message = Printf.sprintf "overlapping words at 0x%x" a2 });
+        check_overlap rest
+      | _ -> ()
+    in
+    check_overlap words;
+    let entry =
+      match !entry_sym with
+      | None -> 0
+      | Some (line, name) -> begin
+        match List.assoc_opt name symbols with
+        | Some v -> v
+        | None -> fail line "undefined entry label %S" name
+      end
+    in
+    Ok { Program.entry; words = Array.of_list words; symbols; limit = !limit }
+  with Asm_error e -> Error e
+
+let assemble_exn source =
+  match assemble source with
+  | Ok p -> p
+  | Error { line; message } -> failwith (Printf.sprintf "asm error at line %d: %s" line message)

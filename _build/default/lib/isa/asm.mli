@@ -1,0 +1,38 @@
+(** Two-pass text assembler for the OR1K subset.
+
+    Syntax:
+    {v
+        # comment      ; comment      // comment
+        .org 0x100     # set location counter (byte address)
+        .align 4       # pad to alignment
+        .word 1, -2, 0xdeadbeef, label   # initialized 32-bit data
+        .space 64      # reserve zeroed bytes
+        .entry start   # entry point label (default: address 0)
+
+    start:
+        l.movhi r1, hi(table)
+        l.ori   r1, r1, lo(table)
+        l.addi  r2, r0, 129
+    loop:
+        l.lwz   r3, 0(r1)
+        l.sfeqi r2, 0
+        l.bf    done
+        l.j     loop
+    done:
+        l.nop   0x1
+    table:
+        .word 1, 2, 3
+    v}
+
+    Immediate expressions are decimal or 0x-hex numbers, labels,
+    [label+offset] / [label-offset], or [hi(expr)] / [lo(expr)] (upper and
+    lower 16 bits — the classic constant-loading pair). Branch and jump
+    targets are labels or absolute byte addresses; the assembler converts
+    them to word offsets. *)
+
+type error = { line : int; message : string }
+
+val assemble : string -> (Program.t, error) result
+
+val assemble_exn : string -> Program.t
+(** Raises [Failure] with a formatted message. *)

@@ -1,0 +1,197 @@
+open Sfi_util
+
+let cmp_code = function
+  | Insn.Eq -> 0x0
+  | Insn.Ne -> 0x1
+  | Insn.Gtu -> 0x2
+  | Insn.Geu -> 0x3
+  | Insn.Ltu -> 0x4
+  | Insn.Leu -> 0x5
+  | Insn.Gts -> 0xa
+  | Insn.Ges -> 0xb
+  | Insn.Lts -> 0xc
+  | Insn.Les -> 0xd
+
+let cmp_of_code = function
+  | 0x0 -> Some Insn.Eq
+  | 0x1 -> Some Insn.Ne
+  | 0x2 -> Some Insn.Gtu
+  | 0x3 -> Some Insn.Geu
+  | 0x4 -> Some Insn.Ltu
+  | 0x5 -> Some Insn.Leu
+  | 0xa -> Some Insn.Gts
+  | 0xb -> Some Insn.Ges
+  | 0xc -> Some Insn.Lts
+  | 0xd -> Some Insn.Les
+  | _ -> None
+
+let fits_signed ~bits v = v >= -(1 lsl (bits - 1)) && v < 1 lsl (bits - 1)
+
+let fits_unsigned ~bits v = v >= 0 && v < 1 lsl bits
+
+(* Immediates that are either signed 16-bit values or unsigned 16-bit bit
+   patterns are accepted for all 16-bit fields: assembly sources routinely
+   write l.andi with 0xffff and l.addi with -1. *)
+let fits_imm16 v = v >= -0x8000 && v <= 0xFFFF
+
+let check_reg name v = if v < 0 || v > 31 then Error (name ^ ": register out of range") else Ok ()
+
+let check_immediates insn =
+  let ( let* ) = Result.bind in
+  let imm16 v = if fits_imm16 v then Ok () else Error "immediate out of 16-bit range" in
+  let off26 v =
+    if fits_signed ~bits:26 v then Ok () else Error "jump offset out of 26-bit range"
+  in
+  let shamt v = if fits_unsigned ~bits:5 v then Ok () else Error "shift amount out of range" in
+  match insn with
+  | Insn.Add (d, a, b) | Insn.Sub (d, a, b) | Insn.And (d, a, b) | Insn.Or (d, a, b)
+  | Insn.Xor (d, a, b) | Insn.Mul (d, a, b) | Insn.Sll (d, a, b) | Insn.Srl (d, a, b)
+  | Insn.Sra (d, a, b) ->
+    let* () = check_reg "rD" d in
+    let* () = check_reg "rA" a in
+    check_reg "rB" b
+  | Insn.Addi (d, a, i) | Insn.Andi (d, a, i) | Insn.Ori (d, a, i) | Insn.Xori (d, a, i)
+  | Insn.Muli (d, a, i) ->
+    let* () = check_reg "rD" d in
+    let* () = check_reg "rA" a in
+    imm16 i
+  | Insn.Slli (d, a, s) | Insn.Srli (d, a, s) | Insn.Srai (d, a, s) ->
+    let* () = check_reg "rD" d in
+    let* () = check_reg "rA" a in
+    shamt s
+  | Insn.Movhi (d, k) ->
+    let* () = check_reg "rD" d in
+    if fits_unsigned ~bits:16 k || fits_signed ~bits:16 k then Ok ()
+    else Error "movhi constant out of 16-bit range"
+  | Insn.Sf (_, a, b) ->
+    let* () = check_reg "rA" a in
+    check_reg "rB" b
+  | Insn.Sfi (_, a, i) ->
+    let* () = check_reg "rA" a in
+    imm16 i
+  | Insn.J n | Insn.Jal n | Insn.Bf n | Insn.Bnf n -> off26 n
+  | Insn.Jr r | Insn.Jalr r -> check_reg "rB" r
+  | Insn.Lwz (d, i, a) | Insn.Lhz (d, i, a) | Insn.Lbz (d, i, a) ->
+    let* () = check_reg "rD" d in
+    let* () = check_reg "rA" a in
+    imm16 i
+  | Insn.Sw (i, a, b) | Insn.Sh (i, a, b) | Insn.Sb (i, a, b) ->
+    let* () = check_reg "rA" a in
+    let* () = check_reg "rB" b in
+    imm16 i
+  | Insn.Nop k ->
+    if fits_unsigned ~bits:16 k then Ok () else Error "nop code out of 16-bit range"
+
+let word ~op rest = (op lsl 26) lor rest
+
+let rd d = d lsl 21
+let ra a = a lsl 16
+let rb b = b lsl 11
+
+let i16 v = v land 0xFFFF
+
+let n26 v = v land 0x3FF_FFFF
+
+let encode insn =
+  (match check_immediates insn with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Encode.encode: " ^ msg ^ " in " ^ Insn.to_string insn));
+  match insn with
+  | Insn.J n -> word ~op:0x00 (n26 n)
+  | Insn.Jal n -> word ~op:0x01 (n26 n)
+  | Insn.Bnf n -> word ~op:0x03 (n26 n)
+  | Insn.Bf n -> word ~op:0x04 (n26 n)
+  | Insn.Nop k -> word ~op:0x05 ((1 lsl 24) lor i16 k)
+  | Insn.Movhi (d, k) -> word ~op:0x06 (rd d lor i16 k)
+  | Insn.Jr r -> word ~op:0x11 (rb r)
+  | Insn.Jalr r -> word ~op:0x12 (rb r)
+  | Insn.Lwz (d, i, a) -> word ~op:0x21 (rd d lor ra a lor i16 i)
+  | Insn.Lbz (d, i, a) -> word ~op:0x23 (rd d lor ra a lor i16 i)
+  | Insn.Lhz (d, i, a) -> word ~op:0x25 (rd d lor ra a lor i16 i)
+  | Insn.Addi (d, a, i) -> word ~op:0x27 (rd d lor ra a lor i16 i)
+  | Insn.Andi (d, a, i) -> word ~op:0x29 (rd d lor ra a lor i16 i)
+  | Insn.Ori (d, a, i) -> word ~op:0x2a (rd d lor ra a lor i16 i)
+  | Insn.Xori (d, a, i) -> word ~op:0x2b (rd d lor ra a lor i16 i)
+  | Insn.Muli (d, a, i) -> word ~op:0x2c (rd d lor ra a lor i16 i)
+  | Insn.Slli (d, a, s) -> word ~op:0x2e (rd d lor ra a lor (0b00 lsl 6) lor s)
+  | Insn.Srli (d, a, s) -> word ~op:0x2e (rd d lor ra a lor (0b01 lsl 6) lor s)
+  | Insn.Srai (d, a, s) -> word ~op:0x2e (rd d lor ra a lor (0b10 lsl 6) lor s)
+  | Insn.Sfi (c, a, i) -> word ~op:0x2f (rd (cmp_code c) lor ra a lor i16 i)
+  | Insn.Sw (i, a, b) ->
+    word ~op:0x35 (((i16 i lsr 11) lsl 21) lor ra a lor rb b lor (i16 i land 0x7FF))
+  | Insn.Sb (i, a, b) ->
+    word ~op:0x36 (((i16 i lsr 11) lsl 21) lor ra a lor rb b lor (i16 i land 0x7FF))
+  | Insn.Sh (i, a, b) ->
+    word ~op:0x37 (((i16 i lsr 11) lsl 21) lor ra a lor rb b lor (i16 i land 0x7FF))
+  | Insn.Add (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor 0x0)
+  | Insn.Sub (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor 0x2)
+  | Insn.And (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor 0x3)
+  | Insn.Or (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor 0x4)
+  | Insn.Xor (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor 0x5)
+  | Insn.Mul (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor (0b11 lsl 8) lor 0x6)
+  | Insn.Sll (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor (0b00 lsl 6) lor 0x8)
+  | Insn.Srl (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor (0b01 lsl 6) lor 0x8)
+  | Insn.Sra (d, a, b) -> word ~op:0x38 (rd d lor ra a lor rb b lor (0b10 lsl 6) lor 0x8)
+  | Insn.Sf (c, a, b) -> word ~op:0x39 (rd (cmp_code c) lor ra a lor rb b)
+
+let sext16 v = U32.to_signed (U32.sext ~bits:16 v)
+
+let sext26 v = if v land (1 lsl 25) <> 0 then v - (1 lsl 26) else v
+
+let decode w =
+  let op = (w lsr 26) land 0x3F in
+  let d = (w lsr 21) land 0x1F in
+  let a = (w lsr 16) land 0x1F in
+  let b = (w lsr 11) land 0x1F in
+  let imm = sext16 (w land 0xFFFF) in
+  let store_imm = sext16 ((((w lsr 21) land 0x1F) lsl 11) lor (w land 0x7FF)) in
+  match op with
+  | 0x00 -> Some (Insn.J (sext26 (w land 0x3FF_FFFF)))
+  | 0x01 -> Some (Insn.Jal (sext26 (w land 0x3FF_FFFF)))
+  | 0x03 -> Some (Insn.Bnf (sext26 (w land 0x3FF_FFFF)))
+  | 0x04 -> Some (Insn.Bf (sext26 (w land 0x3FF_FFFF)))
+  | 0x05 -> if (w lsr 24) land 0x3 = 1 then Some (Insn.Nop (w land 0xFFFF)) else None
+  | 0x06 -> if (w lsr 16) land 0x1 = 0 then Some (Insn.Movhi (d, w land 0xFFFF)) else None
+  | 0x11 -> Some (Insn.Jr b)
+  | 0x12 -> Some (Insn.Jalr b)
+  | 0x21 -> Some (Insn.Lwz (d, imm, a))
+  | 0x23 -> Some (Insn.Lbz (d, imm, a))
+  | 0x25 -> Some (Insn.Lhz (d, imm, a))
+  | 0x27 -> Some (Insn.Addi (d, a, imm))
+  | 0x29 -> Some (Insn.Andi (d, a, w land 0xFFFF))
+  | 0x2a -> Some (Insn.Ori (d, a, w land 0xFFFF))
+  | 0x2b -> Some (Insn.Xori (d, a, imm))
+  | 0x2c -> Some (Insn.Muli (d, a, imm))
+  | 0x2e -> begin
+    let s = w land 0x3F in
+    if s > 31 then None
+    else
+      match (w lsr 6) land 0x3 with
+      | 0b00 -> Some (Insn.Slli (d, a, s))
+      | 0b01 -> Some (Insn.Srli (d, a, s))
+      | 0b10 -> Some (Insn.Srai (d, a, s))
+      | _ -> None
+  end
+  | 0x2f -> Option.map (fun c -> Insn.Sfi (c, a, imm)) (cmp_of_code d)
+  | 0x35 -> Some (Insn.Sw (store_imm, a, b))
+  | 0x36 -> Some (Insn.Sb (store_imm, a, b))
+  | 0x37 -> Some (Insn.Sh (store_imm, a, b))
+  | 0x38 -> begin
+    match w land 0xF with
+    | 0x0 when (w lsr 6) land 0xF = 0 -> Some (Insn.Add (d, a, b))
+    | 0x2 when (w lsr 6) land 0xF = 0 -> Some (Insn.Sub (d, a, b))
+    | 0x3 when (w lsr 6) land 0xF = 0 -> Some (Insn.And (d, a, b))
+    | 0x4 when (w lsr 6) land 0xF = 0 -> Some (Insn.Or (d, a, b))
+    | 0x5 when (w lsr 6) land 0xF = 0 -> Some (Insn.Xor (d, a, b))
+    | 0x6 when (w lsr 8) land 0x3 = 0b11 -> Some (Insn.Mul (d, a, b))
+    | 0x8 -> begin
+      match (w lsr 6) land 0x3 with
+      | 0b00 -> Some (Insn.Sll (d, a, b))
+      | 0b01 -> Some (Insn.Srl (d, a, b))
+      | 0b10 -> Some (Insn.Sra (d, a, b))
+      | _ -> None
+    end
+    | _ -> None
+  end
+  | 0x39 -> Option.map (fun c -> Insn.Sf (c, a, b)) (cmp_of_code d)
+  | _ -> None

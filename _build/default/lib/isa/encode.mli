@@ -1,0 +1,19 @@
+(** Binary encoding of the instruction set (OR1K major opcode map).
+
+    [encode] and [decode] are exact inverses on the supported subset; the
+    test suite checks the round-trip property over random instructions.
+    Words that do not decode (reserved opcodes, unused sub-opcodes) yield
+    [None] — executing one is an illegal-instruction trap, which matters
+    for fault injection because corrupted branches can land in data. *)
+
+open Sfi_util
+
+val encode : Insn.t -> U32.t
+(** Raises [Invalid_argument] if a field is out of range (register index,
+    immediate width, jump offset). *)
+
+val decode : U32.t -> Insn.t option
+
+val check_immediates : Insn.t -> (unit, string) result
+(** Validates field ranges without encoding (used by the assembler for
+    better error messages). *)

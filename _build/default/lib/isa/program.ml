@@ -1,0 +1,40 @@
+open Sfi_util
+
+type t = {
+  entry : int;
+  words : (int * U32.t) array;
+  symbols : (string * int) list;
+  limit : int;
+}
+
+let symbol t name = List.assoc name t.symbols
+
+let symbol_opt t name = List.assoc_opt name t.symbols
+
+let of_insns ?(entry = 0) insns =
+  let words =
+    Array.of_list (List.mapi (fun i insn -> (entry + (4 * i), Encode.encode insn)) insns)
+  in
+  let limit = entry + (4 * List.length insns) in
+  { entry; words; symbols = []; limit }
+
+let disassemble t =
+  let buf = Buffer.create 1024 in
+  let label_at =
+    let table = Hashtbl.create 16 in
+    List.iter (fun (name, addr) -> Hashtbl.replace table addr name) t.symbols;
+    fun addr -> Hashtbl.find_opt table addr
+  in
+  Array.iter
+    (fun (addr, w) ->
+      (match label_at addr with
+      | Some l -> Buffer.add_string buf (l ^ ":\n")
+      | None -> ());
+      let text =
+        match Encode.decode w with
+        | Some insn -> Insn.to_string insn
+        | None -> Printf.sprintf ".word 0x%s" (U32.to_hex w)
+      in
+      Buffer.add_string buf (Printf.sprintf "%08x:  %s  %s\n" addr (U32.to_hex w) text))
+    t.words;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** An assembled program image.
+
+    The image is a sparse list of initialized 32-bit words (code and data
+    share one address space, as with the core's unified SRAM map) plus the
+    symbol table. Uninitialized space reads as zero. *)
+
+open Sfi_util
+
+type t = {
+  entry : int;                   (** byte address of the first instruction *)
+  words : (int * U32.t) array;   (** (byte address, value), strictly
+                                     increasing addresses, 4-aligned *)
+  symbols : (string * int) list; (** label -> byte address *)
+  limit : int;                   (** one past the highest initialized or
+                                     reserved byte *)
+}
+
+val symbol : t -> string -> int
+(** Raises [Not_found]. *)
+
+val symbol_opt : t -> string -> int option
+
+val of_insns : ?entry:int -> Insn.t list -> t
+(** Convenience for tests: lay out instructions from [entry] (default 0). *)
+
+val disassemble : t -> string
+(** Address-annotated listing of the image (data words that do not decode
+    are shown as [.word]). *)

@@ -1,0 +1,1 @@
+lib/kernels/bench.ml: Array Buffer Cpu Memory Printf Sfi_isa Sfi_sim Sfi_util U32

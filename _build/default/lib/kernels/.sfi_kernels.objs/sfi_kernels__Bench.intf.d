@@ -1,0 +1,1 @@
+lib/kernels/bench.mli: Cpu Memory Sfi_isa Sfi_sim Sfi_util U32

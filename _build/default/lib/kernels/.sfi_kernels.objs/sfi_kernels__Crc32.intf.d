@@ -1,0 +1,1 @@
+lib/kernels/crc32.mli: Bench

@@ -1,0 +1,1 @@
+lib/kernels/dijkstra.ml: Array Bench Printf Rng Sfi_isa Sfi_util

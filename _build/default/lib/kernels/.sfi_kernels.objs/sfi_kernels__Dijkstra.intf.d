@@ -1,0 +1,1 @@
+lib/kernels/dijkstra.mli: Bench

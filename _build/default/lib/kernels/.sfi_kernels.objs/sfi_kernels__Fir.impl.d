@@ -1,0 +1,1 @@
+lib/kernels/fir.ml: Array Bench Printf Rng Sfi_isa Sfi_util U32

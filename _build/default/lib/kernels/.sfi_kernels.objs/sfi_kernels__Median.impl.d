@@ -1,0 +1,1 @@
+lib/kernels/median.ml: Array Bench Float Printf Rng Sfi_isa Sfi_util

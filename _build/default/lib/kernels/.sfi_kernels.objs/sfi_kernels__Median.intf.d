@@ -1,0 +1,1 @@
+lib/kernels/median.mli: Bench

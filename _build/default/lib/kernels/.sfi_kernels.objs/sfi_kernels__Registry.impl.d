@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Crc32 Dijkstra Fir Kmeans Matmul Median

@@ -1,0 +1,96 @@
+open Sfi_util
+
+let polynomial = 0xEDB8_8320
+
+let source ~len ~words =
+  Printf.sprintf
+    {|# bitwise reflected CRC-32 over %d bytes
+        .entry start
+start:
+        l.movhi r2, hi(data)
+        l.ori   r2, r2, lo(data)
+        l.addi  r3, r0, %d          # length in bytes
+        l.movhi r15, hi(0xedb88320)
+        l.ori   r15, r15, lo(0xedb88320)
+        l.nop   0x10                # kernel begin
+        l.addi  r4, r0, -1          # crc = 0xffffffff
+byte_loop:
+        l.sfeqi r3, 0
+        l.bf    finish
+        l.lbz   r5, 0(r2)
+        l.xor   r4, r4, r5
+        l.addi  r6, r0, 8
+bit_loop:
+        l.andi  r7, r4, 1
+        l.srli  r4, r4, 1
+        l.sfeqi r7, 0
+        l.bf    no_xor
+        l.xor   r4, r4, r15
+no_xor:
+        l.addi  r6, r6, -1
+        l.sfnei r6, 0
+        l.bf    bit_loop
+        l.addi  r2, r2, 1
+        l.addi  r3, r3, -1
+        l.j     byte_loop
+finish:
+        l.xori  r4, r4, -1          # final inversion
+        l.movhi r8, hi(result)
+        l.ori   r8, r8, lo(result)
+        l.sw    0(r8), r4
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+result: .word 0
+data:
+%s|}
+    len len
+    (Bench.format_word_data words)
+
+let reference bytes =
+  let crc = ref 0xFFFF_FFFF in
+  Array.iter
+    (fun byte ->
+      crc := !crc lxor byte;
+      for _ = 1 to 8 do
+        let lsb = !crc land 1 in
+        crc := !crc lsr 1;
+        if lsb = 1 then crc := !crc lxor polynomial
+      done)
+    bytes;
+  !crc lxor 0xFFFF_FFFF
+
+let create ?(len = 512) ?(seed = 1) () =
+  if len <= 0 || len land 3 <> 0 then
+    invalid_arg "Crc32.create: len must be a positive multiple of 4";
+  let rng = Rng.of_int (seed lxor 0x6372) in
+  let bytes = Array.init len (fun _ -> Rng.bits32 rng land 0xFF) in
+  (* Pack big-endian: byte i of word w is bytes.(4w + i), matching l.lbz's
+     sequential walk through memory. *)
+  let words =
+    Array.init (len / 4) (fun w ->
+        (bytes.(4 * w) lsl 24)
+        lor (bytes.((4 * w) + 1) lsl 16)
+        lor (bytes.((4 * w) + 2) lsl 8)
+        lor bytes.((4 * w) + 3))
+  in
+  let program = Sfi_isa.Asm.assemble_exn (source ~len ~words) in
+  let golden = [| reference bytes |] in
+  let metric ~expected ~actual =
+    (* A checksum is either right or wrong: report the Hamming distance as
+       a percentage of the word width. *)
+    100. *. float_of_int (U32.popcount (expected.(0) lxor actual.(0))) /. 32.
+  in
+  {
+    Bench.name = "crc32";
+    bench_type = "checksum";
+    compute_rating = "+";
+    control_rating = "+";
+    size_desc = Printf.sprintf "%d bytes" len;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "result";
+    output_count = 1;
+    golden;
+    metric_name = "bit error rate";
+    metric;
+  }

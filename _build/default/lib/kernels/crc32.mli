@@ -1,0 +1,16 @@
+(** CRC-32 benchmark (extension beyond the paper's four kernels).
+
+    Bitwise reflected CRC-32 (polynomial 0xEDB88320) over a byte buffer.
+    Unlike the paper's kernels, its inner loop is dominated by logical
+    shifts and XORs, so it probes the barrel-shifter and logic-unit
+    timing classes that median/matmul/kmeans/dijkstra barely exercise —
+    predicting a later point of first failure than any paper kernel. *)
+
+val create : ?len:int -> ?seed:int -> unit -> Bench.t
+(** [len] bytes of random input, default 512. Must be a positive multiple
+    of 4. *)
+
+val reference : int array -> int
+(** The OCaml reference implementation over a byte array (CRC-32/ISO-HDLC:
+    reflected 0xEDB88320, init and final-xor 0xFFFFFFFF; the check value
+    for "123456789" is 0xCBF43926). *)

@@ -1,0 +1,201 @@
+open Sfi_util
+
+let inf = 0x0FFF_FFFF
+
+let source ~nodes ~reps ~adj =
+  Printf.sprintf
+    {|# all-pairs shortest paths: Dijkstra from each of %d nodes, %d reps
+        .entry start
+start:
+        l.movhi r2, hi(adj)
+        l.ori   r2, r2, lo(adj)
+        l.movhi r4, hi(dist)
+        l.ori   r4, r4, lo(dist)
+        l.movhi r5, hi(vis)
+        l.ori   r5, r5, lo(vis)
+        l.movhi r6, hi(out)
+        l.ori   r6, r6, lo(out)
+        l.addi  r3, r0, %d          # n
+        l.addi  r7, r0, %d          # repetitions
+        l.movhi r28, hi(0x0fffffff) # INF
+        l.ori   r28, r28, lo(0x0fffffff)
+        l.nop   0x10                # kernel begin
+rep_loop:
+        l.sfeqi r7, 0
+        l.bf    done_all
+        l.addi  r8, r0, 0           # source node
+src_loop:
+        l.sfgeu r8, r3
+        l.bf    rep_next
+        l.addi  r10, r0, 0          # init dist/vis arrays
+init_loop:
+        l.sfgeu r10, r3
+        l.bf    init_done
+        l.slli  r11, r10, 2
+        l.add   r12, r4, r11
+        l.sw    0(r12), r28         # dist[i] = INF
+        l.add   r12, r5, r11
+        l.sw    0(r12), r0          # vis[i] = 0
+        l.addi  r10, r10, 1
+        l.j     init_loop
+init_done:
+        l.slli  r11, r8, 2
+        l.add   r12, r4, r11
+        l.sw    0(r12), r0          # dist[src] = 0
+        l.ori   r14, r3, 0          # n selection steps
+step_loop:
+        l.sfeqi r14, 0
+        l.bf    src_store
+        l.addi  r10, r0, 0          # scan for unvisited argmin
+        l.ori   r15, r28, 0         # best distance = INF
+        l.addi  r16, r0, -1         # best index
+min_loop:
+        l.sfgeu r10, r3
+        l.bf    min_done
+        l.slli  r11, r10, 2
+        l.add   r12, r5, r11
+        l.lwz   r13, 0(r12)
+        l.sfnei r13, 0
+        l.bf    min_next            # already visited
+        l.add   r12, r4, r11
+        l.lwz   r13, 0(r12)
+        l.sfgeu r13, r15
+        l.bf    min_next            # not strictly better
+        l.ori   r15, r13, 0
+        l.ori   r16, r10, 0
+min_next:
+        l.addi  r10, r10, 1
+        l.j     min_loop
+min_done:
+        l.sfeqi r16, -1
+        l.bf    src_store           # nothing reachable remains
+        l.slli  r11, r16, 2
+        l.add   r12, r5, r11
+        l.addi  r13, r0, 1
+        l.sw    0(r12), r13         # vis[u] = 1
+        l.mul   r17, r16, r3
+        l.slli  r17, r17, 2
+        l.add   r17, r2, r17        # &adj[u][0]
+        l.addi  r10, r0, 0
+relax_loop:
+        l.sfgeu r10, r3
+        l.bf    relax_done
+        l.slli  r11, r10, 2
+        l.add   r12, r5, r11
+        l.lwz   r13, 0(r12)
+        l.sfnei r13, 0
+        l.bf    relax_next          # visited
+        l.add   r12, r17, r11
+        l.lwz   r13, 0(r12)         # w = adj[u][v]
+        l.sfeqi r13, 0
+        l.bf    relax_next          # no edge
+        l.add   r13, r13, r15       # dist[u] + w
+        l.add   r12, r4, r11
+        l.lwz   r18, 0(r12)
+        l.sfltu r13, r18
+        l.bnf   relax_next
+        l.sw    0(r12), r13         # improve dist[v]
+relax_next:
+        l.addi  r10, r10, 1
+        l.j     relax_loop
+relax_done:
+        l.addi  r14, r14, -1
+        l.j     step_loop
+src_store:
+        l.mul   r17, r8, r3
+        l.slli  r17, r17, 2
+        l.add   r17, r6, r17        # &out[src][0]
+        l.addi  r10, r0, 0
+store_loop:
+        l.sfgeu r10, r3
+        l.bf    src_next
+        l.slli  r11, r10, 2
+        l.add   r12, r4, r11
+        l.lwz   r13, 0(r12)
+        l.add   r12, r17, r11
+        l.sw    0(r12), r13
+        l.addi  r10, r10, 1
+        l.j     store_loop
+src_next:
+        l.addi  r8, r8, 1
+        l.j     src_loop
+rep_next:
+        l.addi  r7, r7, -1
+        l.j     rep_loop
+done_all:
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+dist:
+        .space %d
+vis:
+        .space %d
+out:
+        .space %d
+adj:
+%s|}
+    nodes reps nodes reps (4 * nodes) (4 * nodes) (4 * nodes * nodes)
+    (Bench.format_word_data adj)
+
+let reference ~nodes ~adj =
+  let out = Array.make (nodes * nodes) 0 in
+  for src = 0 to nodes - 1 do
+    let dist = Array.make nodes inf in
+    let vis = Array.make nodes false in
+    dist.(src) <- 0;
+    (try
+       for _ = 1 to nodes do
+         let best = ref inf and u = ref (-1) in
+         for i = 0 to nodes - 1 do
+           if (not vis.(i)) && dist.(i) < !best then begin
+             best := dist.(i);
+             u := i
+           end
+         done;
+         if !u < 0 then raise Exit;
+         vis.(!u) <- true;
+         for v = 0 to nodes - 1 do
+           let w = adj.((!u * nodes) + v) in
+           if (not vis.(v)) && w <> 0 then begin
+             let cand = !best + w in
+             if cand < dist.(v) then dist.(v) <- cand
+           end
+         done
+       done
+     with Exit -> ());
+    Array.blit dist 0 out (src * nodes) nodes
+  done;
+  out
+
+let create ?(nodes = 10) ?(reps = 24) ?(seed = 1) () =
+  if nodes < 2 then invalid_arg "Dijkstra.create: need at least 2 nodes";
+  if reps < 1 then invalid_arg "Dijkstra.create: need at least 1 repetition";
+  let rng = Rng.of_int (seed lxor 0x646a) in
+  let adj = Array.make (nodes * nodes) 0 in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      let w = 1 + Rng.int rng 15 in
+      adj.((i * nodes) + j) <- w;
+      adj.((j * nodes) + i) <- w
+    done
+  done;
+  let program = Sfi_isa.Asm.assemble_exn (source ~nodes ~reps ~adj) in
+  let golden = reference ~nodes ~adj in
+  let metric ~expected ~actual =
+    let m = ref 0 in
+    Array.iteri (fun i e -> if actual.(i) <> e then incr m) expected;
+    100. *. float_of_int !m /. float_of_int (Array.length expected)
+  in
+  {
+    Bench.name = "dijkstra";
+    bench_type = "graph search";
+    compute_rating = "-";
+    control_rating = "++";
+    size_desc = Printf.sprintf "%d nodes" nodes;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "out";
+    output_count = nodes * nodes;
+    golden;
+    metric_name = "mismatch in min. distance";
+    metric;
+  }

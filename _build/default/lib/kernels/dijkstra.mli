@@ -1,0 +1,9 @@
+(** Dijkstra benchmark: all-pairs shortest paths by repeated
+    single-source Dijkstra over a dense weighted graph, repeated [reps]
+    times (Table 1: graph search, control-heavy, 10 nodes, output error =
+    mismatch in min. distance over node pairs). *)
+
+val create : ?nodes:int -> ?reps:int -> ?seed:int -> unit -> Bench.t
+(** Defaults: 10 nodes (paper size), 24 repetitions (sized to land in the
+    paper's cycle-count ballpark). Edge weights are uniform in [1, 15]
+    over a complete graph. *)

@@ -1,0 +1,97 @@
+open Sfi_util
+
+let source ~outputs ~taps ~xpad ~h =
+  Printf.sprintf
+    {|# FIR filter: %d outputs, %d taps
+        .entry start
+start:
+        l.movhi r2, hi(xpad)
+        l.ori   r2, r2, lo(xpad)
+        l.movhi r3, hi(taps)
+        l.ori   r3, r3, lo(taps)
+        l.movhi r4, hi(out)
+        l.ori   r4, r4, lo(out)
+        l.addi  r5, r0, %d          # outputs
+        l.addi  r6, r0, %d          # taps
+        l.nop   0x10                # kernel begin
+        l.addi  r7, r0, 0           # n
+n_loop:
+        l.sfgeu r7, r5
+        l.bf    done
+        l.addi  r8, r0, 0           # k
+        l.addi  r10, r0, 0          # acc
+        l.addi  r11, r7, %d         # n + taps - 1
+        l.slli  r11, r11, 2
+        l.add   r11, r2, r11        # &xpad[n + taps - 1]
+        l.ori   r12, r3, 0          # tap pointer
+k_loop:
+        l.sfgeu r8, r6
+        l.bf    store
+        l.lwz   r13, 0(r11)
+        l.lwz   r14, 0(r12)
+        l.mul   r15, r13, r14
+        l.add   r10, r10, r15
+        l.addi  r11, r11, -4
+        l.addi  r12, r12, 4
+        l.addi  r8, r8, 1
+        l.j     k_loop
+store:
+        l.slli  r13, r7, 2
+        l.add   r13, r4, r13
+        l.sw    0(r13), r10
+        l.addi  r7, r7, 1
+        l.j     n_loop
+done:
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+out:
+        .space %d
+taps:
+%sxpad:
+%s|}
+    outputs taps outputs taps (taps - 1) (4 * outputs)
+    (Bench.format_word_data h)
+    (Bench.format_word_data xpad)
+
+let create ?(outputs = 128) ?(taps = 16) ?(seed = 1) () =
+  if outputs < 1 || taps < 1 then invalid_arg "Fir.create: sizes must be positive";
+  let rng = Rng.of_int (seed lxor 0x6669) in
+  let h = Array.init taps (fun _ -> Rng.bits32 rng land 0xFFFF) in
+  (* xpad has taps-1 leading zeros so y[n] = sum_k h[k] * x[n-k] without
+     boundary special cases. *)
+  let xpad =
+    Array.init (outputs + taps - 1) (fun i ->
+        if i < taps - 1 then 0 else Rng.bits32 rng land 0xFFFF)
+  in
+  let program = Sfi_isa.Asm.assemble_exn (source ~outputs ~taps ~xpad ~h) in
+  let golden =
+    Array.init outputs (fun n ->
+        let acc = ref 0 in
+        for k = 0 to taps - 1 do
+          acc := U32.add !acc (U32.mul h.(k) xpad.(n + taps - 1 - k))
+        done;
+        !acc)
+  in
+  let metric ~expected ~actual =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i e ->
+        let d = float_of_int actual.(i) -. float_of_int e in
+        acc := !acc +. (d *. d))
+      expected;
+    !acc /. float_of_int (Array.length expected)
+  in
+  {
+    Bench.name = "fir";
+    bench_type = "signal processing";
+    compute_rating = "++";
+    control_rating = "-";
+    size_desc = Printf.sprintf "%d outputs, %d taps" outputs taps;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "out";
+    output_count = outputs;
+    golden;
+    metric_name = "mean squared error (MSE)";
+    metric;
+  }

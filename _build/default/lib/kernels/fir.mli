@@ -1,0 +1,10 @@
+(** FIR filter benchmark (extension beyond the paper's four kernels).
+
+    Direct-form convolution of a 16-bit sample stream with 16-bit taps —
+    a streaming multiply-accumulate kernel, the signal-processing
+    workload the paper's approximate-computing motivation targets. Its
+    failure behaviour is multiplier-dominated like matmul, but per-output
+    errors stay local (no error accumulation across outputs). *)
+
+val create : ?outputs:int -> ?taps:int -> ?seed:int -> unit -> Bench.t
+(** Defaults: 128 outputs, 16 taps. *)

@@ -1,0 +1,197 @@
+open Sfi_util
+
+let source ~points ~iters ~coords =
+  Printf.sprintf
+    {|# k-means, 2 clusters, %d 2-D points, %d iterations
+        .entry start
+start:
+        l.movhi r2, hi(pts)
+        l.ori   r2, r2, lo(pts)
+        l.movhi r4, hi(assign)
+        l.ori   r4, r4, lo(assign)
+        l.addi  r3, r0, %d          # points
+        l.addi  r5, r0, %d          # iterations
+        l.nop   0x10                # kernel begin
+        l.lwz   r16, 0(r2)          # c0 = pts[0]
+        l.lwz   r17, 4(r2)
+        l.lwz   r18, 8(r2)          # c1 = pts[1]
+        l.lwz   r19, 12(r2)
+iter_loop:
+        l.sfeqi r5, 0
+        l.bf    kdone
+        l.addi  r26, r0, 0          # sum0x
+        l.addi  r27, r0, 0          # sum0y
+        l.addi  r28, r0, 0          # sum1x
+        l.addi  r29, r0, 0          # sum1y
+        l.addi  r30, r0, 0          # count0
+        l.addi  r31, r0, 0          # count1
+        l.addi  r6, r0, 0           # point index
+        l.ori   r10, r2, 0          # point pointer
+point_loop:
+        l.sfgeu r6, r3
+        l.bf    update
+        l.lwz   r7, 0(r10)          # x
+        l.lwz   r8, 4(r10)          # y
+        l.sub   r11, r7, r16
+        l.mul   r11, r11, r11
+        l.sub   r12, r8, r17
+        l.mul   r12, r12, r12
+        l.add   r11, r11, r12       # d0
+        l.sub   r12, r7, r18
+        l.mul   r12, r12, r12
+        l.sub   r13, r8, r19
+        l.mul   r13, r13, r13
+        l.add   r12, r12, r13       # d1
+        l.slli  r14, r6, 2
+        l.add   r14, r4, r14        # &assign[i]
+        l.sfltu r12, r11            # d1 < d0 ?
+        l.bf    assign1
+        l.sw    0(r14), r0
+        l.add   r26, r26, r7
+        l.add   r27, r27, r8
+        l.addi  r30, r30, 1
+        l.j     next_pt
+assign1:
+        l.addi  r15, r0, 1
+        l.sw    0(r14), r15
+        l.add   r28, r28, r7
+        l.add   r29, r29, r8
+        l.addi  r31, r31, 1
+next_pt:
+        l.addi  r6, r6, 1
+        l.addi  r10, r10, 8
+        l.j     point_loop
+update:
+        l.sfeqi r30, 0
+        l.bf    c1_update           # empty cluster keeps its centroid
+        l.ori   r20, r26, 0
+        l.ori   r21, r30, 0
+        l.jal   div32
+        l.ori   r16, r22, 0
+        l.ori   r20, r27, 0
+        l.ori   r21, r30, 0
+        l.jal   div32
+        l.ori   r17, r22, 0
+c1_update:
+        l.sfeqi r31, 0
+        l.bf    iter_next
+        l.ori   r20, r28, 0
+        l.ori   r21, r31, 0
+        l.jal   div32
+        l.ori   r18, r22, 0
+        l.ori   r20, r29, 0
+        l.ori   r21, r31, 0
+        l.jal   div32
+        l.ori   r19, r22, 0
+iter_next:
+        l.addi  r5, r5, -1
+        l.j     iter_loop
+kdone:
+        l.movhi r10, hi(cents)
+        l.ori   r10, r10, lo(cents)
+        l.sw    0(r10), r16
+        l.sw    4(r10), r17
+        l.sw    8(r10), r18
+        l.sw    12(r10), r19
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+# unsigned restoring division: r22 = r20 / r21 (clobbers r20, r23-r25)
+div32:
+        l.addi  r22, r0, 0
+        l.addi  r23, r0, 0
+        l.addi  r24, r0, 32
+dloop:
+        l.slli  r22, r22, 1
+        l.slli  r23, r23, 1
+        l.srli  r25, r20, 31
+        l.or    r23, r23, r25
+        l.slli  r20, r20, 1
+        l.sfltu r23, r21
+        l.bf    dskip
+        l.sub   r23, r23, r21
+        l.ori   r22, r22, 1
+dskip:
+        l.addi  r24, r24, -1
+        l.sfnei r24, 0
+        l.bf    dloop
+        l.jr    r9
+assign:
+        .space %d
+cents:
+        .space 16
+pts:
+%s|}
+    points iters points iters (4 * points)
+    (Bench.format_word_data coords)
+
+(* OCaml mirror of the kernel's exact integer arithmetic. *)
+let reference ~points ~iters ~coords =
+  let px i = coords.(2 * i) and py i = coords.((2 * i) + 1) in
+  let c0x = ref (px 0) and c0y = ref (py 0) in
+  let c1x = ref (px 1) and c1y = ref (py 1) in
+  let assign = Array.make points 0 in
+  for _ = 1 to iters do
+    let s0x = ref 0 and s0y = ref 0 and s1x = ref 0 and s1y = ref 0 in
+    let n0 = ref 0 and n1 = ref 0 in
+    for i = 0 to points - 1 do
+      let sq d = U32.mul d d in
+      let d0 = U32.add (sq (U32.sub (px i) !c0x)) (sq (U32.sub (py i) !c0y)) in
+      let d1 = U32.add (sq (U32.sub (px i) !c1x)) (sq (U32.sub (py i) !c1y)) in
+      if U32.lt_u d1 d0 then begin
+        assign.(i) <- 1;
+        s1x := U32.add !s1x (px i);
+        s1y := U32.add !s1y (py i);
+        incr n1
+      end
+      else begin
+        assign.(i) <- 0;
+        s0x := U32.add !s0x (px i);
+        s0y := U32.add !s0y (py i);
+        incr n0
+      end
+    done;
+    if !n0 > 0 then begin
+      c0x := !s0x / !n0;
+      c0y := !s0y / !n0
+    end;
+    if !n1 > 0 then begin
+      c1x := !s1x / !n1;
+      c1y := !s1y / !n1
+    end
+  done;
+  Array.concat [ assign; [| !c0x; !c0y; !c1x; !c1y |] ]
+
+let create ?(points = 8) ?(iters = 160) ?(seed = 1) () =
+  if points < 2 then invalid_arg "Kmeans.create: need at least 2 points";
+  if iters < 1 then invalid_arg "Kmeans.create: need at least 1 iteration";
+  let rng = Rng.of_int (seed lxor 0x6b6d) in
+  let coords = Array.init (2 * points) (fun _ -> Rng.bits32 rng land 0xFFFF) in
+  let program = Sfi_isa.Asm.assemble_exn (source ~points ~iters ~coords) in
+  let golden = reference ~points ~iters ~coords in
+  let metric ~expected ~actual =
+    (* Cluster-membership mismatch, invariant under label permutation. *)
+    let mismatches swap =
+      let m = ref 0 in
+      for i = 0 to points - 1 do
+        let e = expected.(i) in
+        let a = if swap then 1 - (actual.(i) land 1) else actual.(i) in
+        if a <> e then incr m
+      done;
+      !m
+    in
+    100. *. float_of_int (min (mismatches false) (mismatches true)) /. float_of_int points
+  in
+  {
+    Bench.name = "kmeans";
+    bench_type = "data mining";
+    compute_rating = "+";
+    control_rating = "+";
+    size_desc = Printf.sprintf "%d points (2D)" points;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "assign";
+    output_count = points + 4;
+    golden;
+    metric_name = "cluster membership";
+    metric;
+  }

@@ -1,0 +1,8 @@
+(** K-means clustering benchmark: 2 clusters over [points] 2-D points,
+    fixed iteration count, integer centroids via shift-subtract division
+    (Table 1: data mining, mixed compute/control, 8 points (2D), output
+    error = cluster membership mismatch). *)
+
+val create : ?points:int -> ?iters:int -> ?seed:int -> unit -> Bench.t
+(** Defaults: 8 points (paper size), 160 iterations (sized to land in the
+    paper's cycle-count ballpark). [points] must be at least 2. *)

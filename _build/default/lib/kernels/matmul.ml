@@ -1,0 +1,106 @@
+open Sfi_util
+
+let source ~n ~a ~b =
+  Printf.sprintf
+    {|# %dx%d matrix multiplication
+        .entry start
+start:
+        l.movhi r2, hi(mat_a)
+        l.ori   r2, r2, lo(mat_a)
+        l.movhi r3, hi(mat_b)
+        l.ori   r3, r3, lo(mat_b)
+        l.movhi r4, hi(mat_c)
+        l.ori   r4, r4, lo(mat_c)
+        l.addi  r5, r0, %d          # n
+        l.nop   0x10                # kernel begin
+        l.addi  r6, r0, 0           # i
+i_loop:
+        l.sfgeu r6, r5
+        l.bf    done
+        l.addi  r7, r0, 0           # j
+j_loop:
+        l.sfgeu r7, r5
+        l.bf    i_next
+        l.addi  r8, r0, 0           # k
+        l.addi  r10, r0, 0          # acc
+        l.mul   r11, r6, r5
+        l.slli  r11, r11, 2
+        l.add   r11, r2, r11        # &A[i][0]
+        l.slli  r12, r7, 2
+        l.add   r12, r3, r12        # &B[0][j]
+        l.slli  r13, r5, 2          # row stride in bytes
+k_loop:
+        l.sfgeu r8, r5
+        l.bf    store
+        l.lwz   r14, 0(r11)
+        l.lwz   r15, 0(r12)
+        l.mul   r16, r14, r15
+        l.add   r10, r10, r16
+        l.addi  r11, r11, 4
+        l.add   r12, r12, r13
+        l.addi  r8, r8, 1
+        l.j     k_loop
+store:
+        l.mul   r14, r6, r5
+        l.add   r14, r14, r7
+        l.slli  r14, r14, 2
+        l.add   r14, r4, r14
+        l.sw    0(r14), r10
+        l.addi  r7, r7, 1
+        l.j     j_loop
+i_next:
+        l.addi  r6, r6, 1
+        l.j     i_loop
+done:
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+mat_a:
+%smat_b:
+%smat_c:
+        .space %d
+|}
+    n n n
+    (Bench.format_word_data a)
+    (Bench.format_word_data b)
+    (4 * n * n)
+
+let create ?(n = 16) ~bits ?(seed = 1) () =
+  if bits <> 8 && bits <> 16 then invalid_arg "Matmul.create: bits must be 8 or 16";
+  if n < 1 then invalid_arg "Matmul.create: n must be positive";
+  let mask = (1 lsl bits) - 1 in
+  let rng = Rng.of_int (seed lxor (0x6d6d + bits)) in
+  let a = Array.init (n * n) (fun _ -> Rng.bits32 rng land mask) in
+  let b = Array.init (n * n) (fun _ -> Rng.bits32 rng land mask) in
+  let program = Sfi_isa.Asm.assemble_exn (source ~n ~a ~b) in
+  let golden =
+    Array.init (n * n) (fun idx ->
+        let i = idx / n and j = idx mod n in
+        let acc = ref 0 in
+        for k = 0 to n - 1 do
+          acc := U32.add !acc (U32.mul a.((i * n) + k) b.((k * n) + j))
+        done;
+        !acc)
+  in
+  let metric ~expected ~actual =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i e ->
+        let d = float_of_int actual.(i) -. float_of_int e in
+        acc := !acc +. (d *. d))
+      expected;
+    !acc /. float_of_int (Array.length expected)
+  in
+  {
+    Bench.name = Printf.sprintf "mat_mult_%dbit" bits;
+    bench_type = "arithmetic";
+    compute_rating = "++";
+    control_rating = "-";
+    size_desc = Printf.sprintf "%dx%d matr." n n;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "mat_c";
+    output_count = n * n;
+    golden;
+    metric_name = "mean squared error (MSE)";
+    metric;
+  }

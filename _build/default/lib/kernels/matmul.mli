@@ -1,0 +1,8 @@
+(** Matrix multiplication benchmark: C = A * B over n x n matrices of
+    unsigned elements with an 8- or 16-bit value range (Table 1:
+    arithmetic, compute-heavy, 16x16, output error = MSE). The element
+    bit-width shapes which multiplier paths the data excites, exactly as
+    in the paper's 8-bit vs 16-bit comparison (Fig. 6a/6b). *)
+
+val create : ?n:int -> bits:int -> ?seed:int -> unit -> Bench.t
+(** [bits] must be 8 or 16. Default [n] = 16 (paper size). *)

@@ -1,0 +1,75 @@
+open Sfi_util
+
+let source ~n ~values =
+  Printf.sprintf
+    {|# median of %d values by bubble sort
+        .entry start
+start:
+        l.movhi r2, hi(data)
+        l.ori   r2, r2, lo(data)
+        l.addi  r3, r0, %d          # n
+        l.nop   0x10                # kernel begin
+        l.addi  r4, r3, -1          # pass length i = n-1
+pass_loop:
+        l.sfeqi r4, 0
+        l.bf    sorted
+        l.addi  r5, r0, 0           # j
+        l.ori   r7, r2, 0           # &a[j]
+inner:
+        l.sfgeu r5, r4
+        l.bf    pass_next
+        l.lwz   r8, 0(r7)
+        l.lwz   r10, 4(r7)
+        l.sfleu r8, r10             # in order -> no swap
+        l.bf    noswap
+        l.sw    0(r7), r10
+        l.sw    4(r7), r8
+noswap:
+        l.addi  r5, r5, 1
+        l.addi  r7, r7, 4
+        l.j     inner
+pass_next:
+        l.addi  r4, r4, -1
+        l.j     pass_loop
+sorted:
+        l.addi  r5, r0, %d          # byte offset of the middle element
+        l.add   r5, r2, r5
+        l.lwz   r6, 0(r5)
+        l.movhi r7, hi(result)
+        l.ori   r7, r7, lo(result)
+        l.sw    0(r7), r6
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+result: .word 0
+data:
+%s|}
+    n n
+    (n / 2 * 4)
+    (Bench.format_word_data values)
+
+let create ?(n = 129) ?(seed = 1) () =
+  if n < 3 || n land 1 = 0 then invalid_arg "Median.create: n must be odd and >= 3";
+  let rng = Rng.of_int (seed lxor 0x6d65) in
+  let values = Array.init n (fun _ -> Rng.bits32 rng land 0x7FFF) in
+  let program = Sfi_isa.Asm.assemble_exn (source ~n ~values) in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let golden = [| sorted.(n / 2) |] in
+  let metric ~expected ~actual =
+    let e = float_of_int expected.(0) and a = float_of_int actual.(0) in
+    100. *. abs_float (a -. e) /. Float.max 1. (abs_float e)
+  in
+  {
+    Bench.name = "median";
+    bench_type = "sorting";
+    compute_rating = "-";
+    control_rating = "+";
+    size_desc = Printf.sprintf "%d values" n;
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "result";
+    output_count = 1;
+    golden;
+    metric_name = "relative difference";
+    metric;
+  }

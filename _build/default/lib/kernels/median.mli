@@ -1,0 +1,7 @@
+(** Median benchmark: insertion sort of [n] values, output the middle
+    element (Table 1: sorting, control-oriented, 129 values, output error
+    = relative difference of the median). *)
+
+val create : ?n:int -> ?seed:int -> unit -> Bench.t
+(** Default [n] = 129 (paper size). Values are uniform in [0, 2{^15}).
+    [n] must be odd and at least 3. *)

@@ -1,0 +1,24 @@
+let paper_suite ?(seed = 1) () =
+  [
+    Median.create ~seed ();
+    Matmul.create ~bits:8 ~seed ();
+    Matmul.create ~bits:16 ~seed ();
+    Kmeans.create ~seed ();
+    Dijkstra.create ~seed ();
+  ]
+
+let extension_suite ?(seed = 1) () = [ Crc32.create ~seed (); Fir.create ~seed () ]
+
+let names =
+  [ "median"; "mat_mult_8bit"; "mat_mult_16bit"; "kmeans"; "dijkstra"; "crc32"; "fir" ]
+
+let by_name ?(seed = 1) name =
+  match name with
+  | "median" -> Some (Median.create ~seed ())
+  | "mat_mult_8bit" -> Some (Matmul.create ~bits:8 ~seed ())
+  | "mat_mult_16bit" -> Some (Matmul.create ~bits:16 ~seed ())
+  | "kmeans" -> Some (Kmeans.create ~seed ())
+  | "dijkstra" -> Some (Dijkstra.create ~seed ())
+  | "crc32" -> Some (Crc32.create ~seed ())
+  | "fir" -> Some (Fir.create ~seed ())
+  | _ -> None

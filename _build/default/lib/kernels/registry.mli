@@ -1,0 +1,13 @@
+(** Benchmark registry: the paper's suite by name. *)
+
+val paper_suite : ?seed:int -> unit -> Bench.t list
+(** median, mat_mult_8bit, mat_mult_16bit, kmeans, dijkstra — Table 1's
+    rows — at the paper's problem sizes. *)
+
+val extension_suite : ?seed:int -> unit -> Bench.t list
+(** crc32 and fir: kernels beyond the paper's set, exercising the shifter
+    / logic-unit classes and a streaming MAC profile respectively. *)
+
+val names : string list
+
+val by_name : ?seed:int -> string -> Bench.t option

@@ -1,0 +1,1 @@
+lib/netlist/alu.ml: Array Cell Cell_lib Circuit Datapath List Logic_sim Op_class Printf Sfi_util

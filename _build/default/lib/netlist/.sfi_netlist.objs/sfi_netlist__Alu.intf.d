@@ -1,0 +1,1 @@
+lib/netlist/alu.mli: Cell_lib Circuit Logic_sim Op_class Sfi_util U32

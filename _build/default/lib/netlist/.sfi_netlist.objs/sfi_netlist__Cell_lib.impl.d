@@ -1,0 +1,1 @@
+lib/netlist/cell_lib.ml: Array Buffer Cell List Printf String

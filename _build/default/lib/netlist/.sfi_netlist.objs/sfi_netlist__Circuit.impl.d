@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Cell Cell_lib List Printf

@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Cell Cell_lib

@@ -1,0 +1,1 @@
+lib/netlist/datapath.ml: Array Cell Circuit List

@@ -1,0 +1,1 @@
+lib/netlist/logic_sim.ml: Array Cell Circuit List Printf

@@ -1,0 +1,1 @@
+lib/netlist/logic_sim.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Cell Circuit Fun Hashtbl List Printf String

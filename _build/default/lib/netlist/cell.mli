@@ -1,0 +1,34 @@
+(** Primitive combinational cell kinds.
+
+    The netlist is built from a small standard-cell-like set of primitives.
+    Compound arithmetic blocks (full adders, multiplexer trees, ...) are
+    expanded into these primitives by {!Datapath}, so static and dynamic
+    timing analysis both operate at single-gate resolution. *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Mux2  (** inputs [s; a; b]: output is [a] when [s] is false, else [b]. *)
+  | Aoi21 (** inputs [a; b; c]: output is [not ((a && b) || c)]. *)
+  | Oai21 (** inputs [a; b; c]: output is [not ((a || b) && c)]. *)
+
+val all : kind list
+
+val arity : kind -> int
+(** Number of input pins. *)
+
+val name : kind -> string
+(** Canonical upper-case cell name, e.g. ["NAND2"]. *)
+
+val of_name : string -> kind option
+(** Inverse of {!name} (case-insensitive). *)
+
+val eval : kind -> bool array -> bool
+(** Boolean function of the cell. The array length must equal
+    [arity kind]; this is checked with an assertion. *)

@@ -1,0 +1,41 @@
+(** Timing characterization of the primitive cells (a miniature Liberty).
+
+    Each cell kind carries an intrinsic propagation delay and a linear
+    load-dependence coefficient; the delay of a gate instance is
+    [intrinsic +. load_slope *. fanout]. Delays are in picoseconds at the
+    nominal operating point (0.7 V, typical process, 25 C). The library can
+    be serialized to and parsed from a small text format so alternative
+    characterizations (process corners, different technologies) can be
+    supplied without recompiling. *)
+
+type entry = {
+  kind : Cell.kind;
+  area : float;          (** relative cell area, for report purposes *)
+  intrinsic : float;     (** ps *)
+  load_slope : float;    (** ps per fanout unit load *)
+  vdd_alpha_skew : float;
+      (** relative skew of the alpha-power exponent for this cell, modelling
+          that not all cells scale identically with supply voltage
+          (cf. paper footnote 1). 0. means exactly the nominal curve. *)
+}
+
+type t
+
+val default : t
+(** The built-in 28 nm-flavoured characterization used by all experiments
+    unless overridden. *)
+
+val entry : t -> Cell.kind -> entry
+
+val gate_delay : t -> Cell.kind -> fanout:int -> float
+(** Nominal-voltage delay of one gate instance driving [fanout] unit
+    loads (at least one load is assumed). *)
+
+val to_text : t -> string
+(** Serialize to the text format. *)
+
+val of_text : string -> (t, string) result
+(** Parse the text format produced by {!to_text}. The format is
+    line-oriented: blank lines and [#] comments are ignored; each cell is
+    [cell NAME area A intrinsic I load L alpha_skew S]. All cell kinds must
+    be present exactly once. *)

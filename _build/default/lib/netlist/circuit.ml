@@ -1,0 +1,224 @@
+type net = int
+
+type proto_gate = { p_kind : Cell.kind; p_fan_in : net array; p_out : net; p_tag : int }
+
+module Builder = struct
+  type t = {
+    mutable next_net : int;
+    mutable gates_rev : proto_gate list;
+    mutable n_gates : int;
+    mutable pis_rev : (string * net) list;
+    mutable pos_rev : (string * net) list;
+    mutable cfalse : net option;
+    mutable ctrue : net option;
+    mutable tags : string list; (* reverse order; id = position from start *)
+    mutable n_tags : int;
+    mutable tag : int;
+  }
+
+  let create () =
+    {
+      next_net = 0;
+      gates_rev = [];
+      n_gates = 0;
+      pis_rev = [];
+      pos_rev = [];
+      cfalse = None;
+      ctrue = None;
+      tags = [ "top" ];
+      n_tags = 1;
+      tag = 0;
+    }
+
+  let tag_index t name =
+    let rec find i = function
+      | [] -> None
+      | n :: rest -> if n = name then Some (t.n_tags - 1 - i) else find (i + 1) rest
+    in
+    find 0 t.tags
+
+  let set_tag t name =
+    match tag_index t name with
+    | Some id -> t.tag <- id
+    | None ->
+      t.tags <- name :: t.tags;
+      t.tag <- t.n_tags;
+      t.n_tags <- t.n_tags + 1
+
+  let current_tag t = List.nth t.tags (t.n_tags - 1 - t.tag)
+
+  let fresh_net t =
+    let n = t.next_net in
+    t.next_net <- n + 1;
+    n
+
+  let input t name =
+    let n = fresh_net t in
+    t.pis_rev <- (name, n) :: t.pis_rev;
+    n
+
+  let input_vec t name w =
+    Array.init w (fun i -> input t (Printf.sprintf "%s.%d" name i))
+
+  let gate t kind fan_in =
+    if Array.length fan_in <> Cell.arity kind then
+      invalid_arg "Circuit.Builder.gate: arity mismatch";
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= t.next_net then
+          invalid_arg "Circuit.Builder.gate: unknown input net")
+      fan_in;
+    let out = fresh_net t in
+    t.gates_rev <-
+      { p_kind = kind; p_fan_in = Array.copy fan_in; p_out = out; p_tag = t.tag }
+      :: t.gates_rev;
+    t.n_gates <- t.n_gates + 1;
+    out
+
+  let const t v =
+    if v then
+      match t.ctrue with
+      | Some n -> n
+      | None ->
+        let n = fresh_net t in
+        t.ctrue <- Some n;
+        n
+    else
+      match t.cfalse with
+      | Some n -> n
+      | None ->
+        let n = fresh_net t in
+        t.cfalse <- Some n;
+        n
+
+  let output t name n =
+    if n < 0 || n >= t.next_net then invalid_arg "Circuit.Builder.output: unknown net";
+    t.pos_rev <- (name, n) :: t.pos_rev
+end
+
+type gate = { kind : Cell.kind; fan_in : net array; out : net; tag : int }
+
+type t = {
+  n_nets : int;
+  gates : gate array;
+  base_delay : float array;
+  pis : (string * net) array;
+  pos : (string * net) array;
+  const_false : net option;
+  const_true : net option;
+  driver : int array;
+  readers : int array array;
+  tags : string array;
+}
+
+let freeze (b : Builder.t) ~lib =
+  let gates =
+    b.Builder.gates_rev |> List.rev
+    |> List.map (fun (p : proto_gate) ->
+           { kind = p.p_kind; fan_in = p.p_fan_in; out = p.p_out; tag = p.p_tag })
+    |> Array.of_list
+  in
+  let n_nets = b.Builder.next_net in
+  let driver = Array.make n_nets (-1) in
+  Array.iteri (fun i g -> driver.(g.out) <- i) gates;
+  (* Check that every net is driven by a gate, a primary input, or a
+     constant. *)
+  let driven = Array.make n_nets false in
+  Array.iteri (fun net d -> if d >= 0 then driven.(net) <- true) driver;
+  List.iter (fun (_, n) -> driven.(n) <- true) b.Builder.pis_rev;
+  (match b.Builder.cfalse with Some n -> driven.(n) <- true | None -> ());
+  (match b.Builder.ctrue with Some n -> driven.(n) <- true | None -> ());
+  Array.iteri
+    (fun net ok ->
+      if not ok then
+        invalid_arg (Printf.sprintf "Circuit.freeze: net %d has no driver" net))
+    driven;
+  let reader_counts = Array.make n_nets 0 in
+  Array.iter
+    (fun g ->
+      Array.iter (fun n -> reader_counts.(n) <- reader_counts.(n) + 1) g.fan_in)
+    gates;
+  let readers = Array.map (fun c -> Array.make c (-1)) (Array.map (fun c -> c) reader_counts) in
+  let fill = Array.make n_nets 0 in
+  Array.iteri
+    (fun i g ->
+      Array.iter
+        (fun n ->
+          readers.(n).(fill.(n)) <- i;
+          fill.(n) <- fill.(n) + 1)
+        g.fan_in)
+    gates;
+  let pos = Array.of_list (List.rev b.Builder.pos_rev) in
+  let po_loads = Array.make n_nets 0 in
+  Array.iter (fun (_, n) -> po_loads.(n) <- po_loads.(n) + 1) pos;
+  let base_delay =
+    Array.map
+      (fun g ->
+        let fanout = reader_counts.(g.out) + po_loads.(g.out) in
+        Cell_lib.gate_delay lib g.kind ~fanout)
+      gates
+  in
+  let tags =
+    Array.of_list (List.rev b.Builder.tags)
+  in
+  {
+    n_nets;
+    gates;
+    base_delay;
+    pis = Array.of_list (List.rev b.Builder.pis_rev);
+    pos;
+    const_false = b.Builder.cfalse;
+    const_true = b.Builder.ctrue;
+    driver;
+    readers;
+    tags;
+  }
+
+let tag_id t name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name then found := Some i) t.tags;
+  !found
+
+let scale_tag_delays t ~tag ~factor =
+  match tag_id t tag with
+  | None -> ()
+  | Some id ->
+    Array.iteri
+      (fun i g -> if g.tag = id then t.base_delay.(i) <- t.base_delay.(i) *. factor)
+      t.gates
+
+let scale_gate_delays t f =
+  Array.iteri (fun i _ -> t.base_delay.(i) <- t.base_delay.(i) *. f i) t.gates
+
+let gate_count t = Array.length t.gates
+
+let count_by_kind t =
+  List.map
+    (fun kind ->
+      let c =
+        Array.fold_left (fun acc g -> if g.kind = kind then acc + 1 else acc) 0 t.gates
+      in
+      (kind, c))
+    Cell.all
+  |> List.filter (fun (_, c) -> c > 0)
+
+let count_by_tag t =
+  Array.to_list t.tags
+  |> List.mapi (fun id name ->
+         let c =
+           Array.fold_left (fun acc g -> if g.tag = id then acc + 1 else acc) 0 t.gates
+         in
+         (name, c))
+  |> List.filter (fun (_, c) -> c > 0)
+
+let total_area t ~lib =
+  Array.fold_left (fun acc g -> acc +. (Cell_lib.entry lib g.kind).Cell_lib.area) 0. t.gates
+
+let logic_depth t =
+  let depth = Array.make t.n_nets 0 in
+  Array.iter
+    (fun g ->
+      let d = Array.fold_left (fun acc n -> max acc depth.(n)) 0 g.fan_in in
+      depth.(g.out) <- d + 1)
+    t.gates;
+  Array.fold_left (fun acc (_, n) -> max acc depth.(n)) 0 t.pos

@@ -1,0 +1,51 @@
+type t = { circuit : Circuit.t; values : bool array; is_free : bool array }
+
+let create (c : Circuit.t) =
+  let is_free = Array.make c.Circuit.n_nets false in
+  Array.iter (fun (_, n) -> is_free.(n) <- true) c.Circuit.pis;
+  (match c.Circuit.const_false with Some n -> is_free.(n) <- true | None -> ());
+  (match c.Circuit.const_true with Some n -> is_free.(n) <- true | None -> ());
+  let values = Array.make c.Circuit.n_nets false in
+  (match c.Circuit.const_true with Some n -> values.(n) <- true | None -> ());
+  { circuit = c; values; is_free }
+
+let set_input t net v =
+  if net < 0 || net >= Array.length t.values || not t.is_free.(net) then
+    invalid_arg "Logic_sim.set_input: not a primary input";
+  (* Constants stay pinned. *)
+  (match t.circuit.Circuit.const_false with
+  | Some n when n = net -> invalid_arg "Logic_sim.set_input: constant net"
+  | _ -> ());
+  (match t.circuit.Circuit.const_true with
+  | Some n when n = net -> invalid_arg "Logic_sim.set_input: constant net"
+  | _ -> ());
+  t.values.(net) <- v
+
+let set_input_vec t nets word =
+  Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
+
+let eval t =
+  let values = t.values in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let ins = Array.map (fun n -> values.(n)) g.Circuit.fan_in in
+      values.(g.Circuit.out) <- Cell.eval g.Circuit.kind ins)
+    t.circuit.Circuit.gates
+
+let value t net = t.values.(net)
+
+let read_vec t nets =
+  let acc = ref 0 in
+  Array.iteri (fun i n -> if t.values.(n) then acc := !acc lor (1 lsl i)) nets;
+  !acc
+
+let eval_fn c inputs =
+  let t = create c in
+  List.iter
+    (fun (name, v) ->
+      match Array.find_opt (fun (n, _) -> n = name) c.Circuit.pis with
+      | Some (_, net) -> set_input t net v
+      | None -> invalid_arg (Printf.sprintf "Logic_sim.eval_fn: no input %S" name))
+    inputs;
+  eval t;
+  Array.to_list (Array.map (fun (name, net) -> (name, value t net)) c.Circuit.pos)

@@ -1,0 +1,96 @@
+let cell_definitions =
+  {|// behavioural primitives for the sfi netlist export
+module INV   (input a, output y);            assign y = ~a;            endmodule
+module BUF   (input a, output y);            assign y = a;             endmodule
+module NAND2 (input a, input b, output y);   assign y = ~(a & b);      endmodule
+module NOR2  (input a, input b, output y);   assign y = ~(a | b);      endmodule
+module AND2  (input a, input b, output y);   assign y = a & b;         endmodule
+module OR2   (input a, input b, output y);   assign y = a | b;         endmodule
+module XOR2  (input a, input b, output y);   assign y = a ^ b;         endmodule
+module XNOR2 (input a, input b, output y);   assign y = ~(a ^ b);      endmodule
+module MUX2  (input s, input a, input b, output y); assign y = s ? b : a; endmodule
+module AOI21 (input a, input b, input c, output y); assign y = ~((a & b) | c); endmodule
+module OAI21 (input a, input b, input c, output y); assign y = ~((a | b) & c); endmodule
+|}
+
+let sanitize name =
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+let port_list (c : Circuit.t) =
+  let ins = Array.to_list c.Circuit.pis |> List.map (fun (n, _) -> "input " ^ sanitize n) in
+  let outs =
+    Array.to_list c.Circuit.pos |> List.map (fun (n, _) -> "output " ^ sanitize n)
+  in
+  ins @ outs
+
+let pin_names kind =
+  match Cell.arity kind with
+  | 1 -> [| "a" |]
+  | 2 -> [| "a"; "b" |]
+  | 3 -> if kind = Cell.Mux2 then [| "s"; "a"; "b" |] else [| "a"; "b"; "c" |]
+  | _ -> assert false
+
+let to_string ?(module_name = "sfi_netlist") (c : Circuit.t) =
+  let buf = Buffer.create (64 * Circuit.gate_count c) in
+  let net_name =
+    (* Primary inputs and constants keep readable names; internal nets are
+       n<id>. *)
+    let names = Hashtbl.create 64 in
+    Array.iter (fun (n, net) -> Hashtbl.replace names net (sanitize n)) c.Circuit.pis;
+    (match c.Circuit.const_false with
+    | Some n -> Hashtbl.replace names n "1'b0"
+    | None -> ());
+    (match c.Circuit.const_true with
+    | Some n -> Hashtbl.replace names n "1'b1"
+    | None -> ());
+    fun net ->
+      match Hashtbl.find_opt names net with
+      | Some n -> n
+      | None -> Printf.sprintf "n%d" net
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n  %s\n);\n" module_name
+                           (String.concat ",\n  " (port_list c)));
+  (* Internal wires. *)
+  let is_port = Array.make c.Circuit.n_nets false in
+  Array.iter (fun (_, n) -> is_port.(n) <- true) c.Circuit.pis;
+  (match c.Circuit.const_false with Some n -> is_port.(n) <- true | None -> ());
+  (match c.Circuit.const_true with Some n -> is_port.(n) <- true | None -> ());
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if not is_port.(g.Circuit.out) then
+        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (net_name g.Circuit.out)))
+    c.Circuit.gates;
+  (* Output aliases: a PO may be driven by an internal net. *)
+  Array.iter
+    (fun (name, net) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (sanitize name) (net_name net)))
+    c.Circuit.pos;
+  (* Gate instances, annotated with their unit tag and delay. *)
+  Array.iteri
+    (fun i (g : Circuit.gate) ->
+      let pins = pin_names g.Circuit.kind in
+      let conns =
+        Array.to_list
+          (Array.mapi
+             (fun k n -> Printf.sprintf ".%s(%s)" pins.(k) (net_name n))
+             g.Circuit.fan_in)
+        @ [ Printf.sprintf ".y(%s)" (net_name g.Circuit.out) ]
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s g%d (%s); // %s, %.1f ps\n" (Cell.name g.Circuit.kind) i
+           (String.concat ", " conns)
+           c.Circuit.tags.(g.Circuit.tag)
+           c.Circuit.base_delay.(i)))
+    c.Circuit.gates;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file ?module_name ~path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc cell_definitions;
+      output_string oc "\n";
+      output_string oc (to_string ?module_name c))

@@ -1,0 +1,19 @@
+(** Structural Verilog export.
+
+    Writes a frozen circuit as a flat gate-level Verilog module over the
+    primitive cells (one `module` per {!Cell.kind} is emitted alongside,
+    so the output is self-contained and simulable by any Verilog tool).
+    Delays are emitted as `specify`-free inline comments per instance; the
+    authoritative delays live in the OCaml timing engines, the export
+    exists for interoperability and inspection. *)
+
+val cell_definitions : string
+(** Behavioural definitions of the primitive cells. *)
+
+val to_string : ?module_name:string -> Circuit.t -> string
+(** The circuit as a single structural module. Primary inputs and outputs
+    become ports (names sanitized: [.] becomes [_]); constants map to
+    [1'b0]/[1'b1]. *)
+
+val write_file : ?module_name:string -> path:string -> Circuit.t -> unit
+(** {!cell_definitions} followed by {!to_string}, written to [path]. *)

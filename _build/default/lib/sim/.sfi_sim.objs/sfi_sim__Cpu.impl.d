@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Encode Insn Memory Op_class Printf Sfi_isa Sfi_util U32

@@ -1,0 +1,1 @@
+lib/sim/cpu.mli: Memory Op_class Sfi_isa Sfi_util U32

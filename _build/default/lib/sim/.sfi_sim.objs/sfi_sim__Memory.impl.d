@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Bytes Char Printf Sfi_isa

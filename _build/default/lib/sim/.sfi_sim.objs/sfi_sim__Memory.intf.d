@@ -1,0 +1,1 @@
+lib/sim/memory.mli: Sfi_isa Sfi_util U32

@@ -1,0 +1,354 @@
+open Sfi_util
+open Sfi_isa
+
+let branch_penalty = 2
+
+let load_use_penalty = 1
+
+type fault_hook =
+  cycle:int -> cls:Op_class.t -> a:U32.t -> b:U32.t -> result:U32.t -> U32.t
+
+type config = {
+  max_cycles : int;
+  fault_hook : fault_hook option;
+  fi_always_on : bool;
+  trace : (pc:int -> Insn.t -> unit) option;
+}
+
+let default_config =
+  { max_cycles = 50_000_000; fault_hook = None; fi_always_on = false; trace = None }
+
+type outcome = Exited | Watchdog | Trapped of string
+
+type stats = {
+  outcome : outcome;
+  cycles : int;
+  instret : int;
+  kernel_cycles : int;
+  kernel_instret : int;
+  alu_retired : int;
+  class_counts : int array;
+  control_retired : int;
+  memory_retired : int;
+  taken_branches : int;
+}
+
+(* Flag logic sits behind the subtractor: equality and magnitude are
+   derived from the (possibly faulted) 32-bit difference, with the
+   operands' sign bits disambiguating the overflow cases. *)
+let flag_of_cmp cmp a b diff =
+  let eq = diff = 0 in
+  let sign_r = diff land 0x8000_0000 <> 0 in
+  let sa = a land 0x8000_0000 <> 0 and sb = b land 0x8000_0000 <> 0 in
+  let lts = if sa <> sb then sa else sign_r in
+  let ltu = if sa <> sb then sb else sign_r in
+  match cmp with
+  | Insn.Eq -> eq
+  | Insn.Ne -> not eq
+  | Insn.Lts -> lts
+  | Insn.Ges -> not lts
+  | Insn.Gts -> (not lts) && not eq
+  | Insn.Les -> lts || eq
+  | Insn.Ltu -> ltu
+  | Insn.Geu -> not ltu
+  | Insn.Gtu -> (not ltu) && not eq
+  | Insn.Leu -> ltu || eq
+
+type state = {
+  mem : Memory.t;
+  regs : int array;
+  mutable pc : int;
+  mutable flag : bool;
+  mutable cycle : int;
+  mutable instret : int;
+  mutable fi_on : bool;
+  mutable kernel_cycles : int;
+  mutable kernel_instret : int;
+  mutable alu_retired : int;
+  class_counts : int array;
+  mutable control_retired : int;
+  mutable memory_retired : int;
+  mutable taken_branches : int;
+  (* load-use interlock: cycle at which each register's value can be
+     consumed by EX (only loads set values in the future) *)
+  ready : int array;
+  decode_cache : Insn.t option option array;
+}
+
+let finish st outcome =
+  {
+    outcome;
+    cycles = st.cycle;
+    instret = st.instret;
+    kernel_cycles = st.kernel_cycles;
+    kernel_instret = st.kernel_instret;
+    alu_retired = st.alu_retired;
+    class_counts = st.class_counts;
+    control_retired = st.control_retired;
+    memory_retired = st.memory_retired;
+    taken_branches = st.taken_branches;
+  }
+
+let run ?(config = default_config) mem ~entry =
+  let st =
+    {
+      mem;
+      regs = Array.make 32 0;
+      pc = entry;
+      flag = false;
+      cycle = 0;
+      instret = 0;
+      fi_on = config.fi_always_on;
+      kernel_cycles = 0;
+      kernel_instret = 0;
+      alu_retired = 0;
+      class_counts = Array.make Op_class.count 0;
+      control_retired = 0;
+      memory_retired = 0;
+      taken_branches = 0;
+      ready = Array.make 32 0;
+      decode_cache = Array.make (Memory.size mem / 4) None;
+    }
+  in
+  let reg r = if r = 0 then 0 else st.regs.(r) in
+  let set_reg r v = if r <> 0 then st.regs.(r) <- v in
+  let wait r = if r <> 0 && st.ready.(r) > st.cycle then st.cycle <- st.ready.(r) in
+  let decode_at pc =
+    let idx = pc lsr 2 in
+    match st.decode_cache.(idx) with
+    | Some cached -> cached
+    | None ->
+      let d = Encode.decode (Memory.read_u32 st.mem pc) in
+      st.decode_cache.(idx) <- Some d;
+      d
+  in
+  let invalidate addr =
+    let idx = addr lsr 2 in
+    if idx >= 0 && idx < Array.length st.decode_cache then st.decode_cache.(idx) <- None
+  in
+  let alu_result cls a b =
+    let clean = Op_class.apply cls a b in
+    let faulted =
+      if st.fi_on then
+        match config.fault_hook with
+        | Some hook ->
+          let mask = hook ~cycle:st.cycle ~cls ~a ~b ~result:clean in
+          if mask = 0 then clean else clean lxor mask
+        | None -> clean
+      else clean
+    in
+    st.alu_retired <- st.alu_retired + (if st.fi_on then 1 else 0);
+    if st.fi_on then begin
+      let i = Op_class.index cls in
+      st.class_counts.(i) <- st.class_counts.(i) + 1
+    end;
+    faulted
+  in
+  let exception Exit_sim of outcome in
+  let run_insn insn =
+    let next = st.pc + 4 in
+    let jump_to target =
+      st.taken_branches <- st.taken_branches + 1;
+      st.cycle <- st.cycle + branch_penalty;
+      st.pc <- target
+    in
+    let branch_target n = st.pc + (n lsl 2) in
+    let count_control () =
+      if st.fi_on then st.control_retired <- st.control_retired + 1
+    in
+    let count_memory () =
+      if st.fi_on then st.memory_retired <- st.memory_retired + 1
+    in
+    (match insn with
+    (* --- ALU register-register --- *)
+    | Insn.Add (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Add (reg a) (reg b));
+      st.pc <- next
+    | Insn.Sub (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Sub (reg a) (reg b));
+      st.pc <- next
+    | Insn.And (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.And_ (reg a) (reg b));
+      st.pc <- next
+    | Insn.Or (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Or_ (reg a) (reg b));
+      st.pc <- next
+    | Insn.Xor (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Xor_ (reg a) (reg b));
+      st.pc <- next
+    | Insn.Mul (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Mul (reg a) (reg b));
+      st.pc <- next
+    | Insn.Sll (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Sll (reg a) (reg b));
+      st.pc <- next
+    | Insn.Srl (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Srl (reg a) (reg b));
+      st.pc <- next
+    | Insn.Sra (d, a, b) ->
+      wait a; wait b;
+      set_reg d (alu_result Op_class.Sra (reg a) (reg b));
+      st.pc <- next
+    (* --- ALU register-immediate --- *)
+    | Insn.Addi (d, a, i) ->
+      wait a;
+      set_reg d (alu_result Op_class.Add (reg a) (U32.of_signed i));
+      st.pc <- next
+    | Insn.Andi (d, a, i) ->
+      wait a;
+      set_reg d (alu_result Op_class.And_ (reg a) (i land 0xFFFF));
+      st.pc <- next
+    | Insn.Ori (d, a, i) ->
+      wait a;
+      set_reg d (alu_result Op_class.Or_ (reg a) (i land 0xFFFF));
+      st.pc <- next
+    | Insn.Xori (d, a, i) ->
+      wait a;
+      set_reg d (alu_result Op_class.Xor_ (reg a) (U32.of_signed i));
+      st.pc <- next
+    | Insn.Muli (d, a, i) ->
+      wait a;
+      set_reg d (alu_result Op_class.Mul (reg a) (U32.of_signed i));
+      st.pc <- next
+    | Insn.Slli (d, a, s) ->
+      wait a;
+      set_reg d (alu_result Op_class.Sll (reg a) s);
+      st.pc <- next
+    | Insn.Srli (d, a, s) ->
+      wait a;
+      set_reg d (alu_result Op_class.Srl (reg a) s);
+      st.pc <- next
+    | Insn.Srai (d, a, s) ->
+      wait a;
+      set_reg d (alu_result Op_class.Sra (reg a) s);
+      st.pc <- next
+    | Insn.Movhi (d, k) ->
+      set_reg d (alu_result Op_class.Or_ 0 ((k land 0xFFFF) lsl 16));
+      st.pc <- next
+    (* --- compares: the subtractor computes the difference, but the flag
+       flip-flop is not an ALU endpoint, so no fault is injected here
+       (paper Sec. 2.1: only the 32 EX result-register endpoints can
+       fail). Corrupted branching still happens indirectly, through
+       previously faulted values and indices reaching a compare. --- *)
+    | Insn.Sf (c, a, b) ->
+      wait a; wait b;
+      let va = reg a and vb = reg b in
+      st.flag <- flag_of_cmp c va vb (U32.sub va vb);
+      st.pc <- next
+    | Insn.Sfi (c, a, i) ->
+      wait a;
+      let va = reg a and vb = U32.of_signed i in
+      st.flag <- flag_of_cmp c va vb (U32.sub va vb);
+      st.pc <- next
+    (* --- control flow --- *)
+    | Insn.J n ->
+      count_control ();
+      if n = 0 then raise (Exit_sim Watchdog) (* jump-to-self: infinite loop *)
+      else jump_to (branch_target n)
+    | Insn.Jal n ->
+      count_control ();
+      set_reg Insn.link_register (U32.of_int (st.pc + 4));
+      jump_to (branch_target n)
+    | Insn.Jr r ->
+      count_control ();
+      wait r;
+      jump_to (reg r)
+    | Insn.Jalr r ->
+      count_control ();
+      wait r;
+      let target = reg r in
+      set_reg Insn.link_register (U32.of_int (st.pc + 4));
+      jump_to target
+    | Insn.Bf n ->
+      count_control ();
+      if st.flag then jump_to (branch_target n) else st.pc <- next
+    | Insn.Bnf n ->
+      count_control ();
+      if not st.flag then jump_to (branch_target n) else st.pc <- next
+    (* --- memory --- *)
+    | Insn.Lwz (d, i, a) ->
+      count_memory ();
+      wait a;
+      set_reg d (Memory.read_u32 st.mem (U32.add (reg a) (U32.of_signed i)));
+      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
+      st.pc <- next
+    | Insn.Lhz (d, i, a) ->
+      count_memory ();
+      wait a;
+      set_reg d (Memory.read_u16 st.mem (U32.add (reg a) (U32.of_signed i)));
+      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
+      st.pc <- next
+    | Insn.Lbz (d, i, a) ->
+      count_memory ();
+      wait a;
+      set_reg d (Memory.read_u8 st.mem (U32.add (reg a) (U32.of_signed i)));
+      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
+      st.pc <- next
+    | Insn.Sw (i, a, b) ->
+      count_memory ();
+      wait a; wait b;
+      let addr = U32.add (reg a) (U32.of_signed i) in
+      Memory.write_u32 st.mem addr (reg b);
+      invalidate addr;
+      st.pc <- next
+    | Insn.Sh (i, a, b) ->
+      count_memory ();
+      wait a; wait b;
+      let addr = U32.add (reg a) (U32.of_signed i) in
+      Memory.write_u16 st.mem addr (reg b);
+      invalidate addr;
+      st.pc <- next
+    | Insn.Sb (i, a, b) ->
+      count_memory ();
+      wait a; wait b;
+      let addr = U32.add (reg a) (U32.of_signed i) in
+      Memory.write_u8 st.mem addr (reg b);
+      invalidate addr;
+      st.pc <- next
+    | Insn.Nop k ->
+      if k = Insn.nop_exit then raise (Exit_sim Exited)
+      else if k = Insn.nop_kernel_begin then st.fi_on <- true
+      else if k = Insn.nop_kernel_end then st.fi_on <- (if config.fi_always_on then true else false);
+      st.pc <- next);
+    st.cycle <- st.cycle + 1;
+    st.instret <- st.instret + 1
+  in
+  try
+    while true do
+      if st.cycle >= config.max_cycles then raise (Exit_sim Watchdog);
+      if st.pc land 3 <> 0 then
+        raise (Exit_sim (Trapped (Printf.sprintf "misaligned pc 0x%x" st.pc)));
+      (* The fetch address wraps with the SRAM decoder, like data
+         accesses: a corrupted jump lands somewhere in memory and the
+         core executes whatever it finds (often an illegal encoding). *)
+      st.pc <- st.pc land (Memory.size st.mem - 1);
+      match decode_at st.pc with
+      | None ->
+        raise (Exit_sim (Trapped (Printf.sprintf "illegal instruction at 0x%x" st.pc)))
+      | Some insn ->
+        (match config.trace with
+        | Some f -> f ~pc:st.pc insn
+        | None -> ());
+        let was_on = st.fi_on in
+        let before = st.cycle in
+        run_insn insn;
+        if was_on || st.fi_on then begin
+          st.kernel_cycles <- st.kernel_cycles + (st.cycle - before);
+          st.kernel_instret <- st.kernel_instret + 1
+        end
+    done;
+    assert false
+  with
+  | Exit_sim outcome -> finish st outcome
+  | Memory.Trap msg -> finish st (Trapped msg)
+
+let ipc stats =
+  if stats.cycles = 0 then 0. else float_of_int stats.instret /. float_of_int stats.cycles

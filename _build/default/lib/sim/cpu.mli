@@ -1,0 +1,79 @@
+(** Cycle-accurate simulator of the 6-stage in-order OpenRISC-style core.
+
+    The modelled micro-architecture is the case study's: a single-issue
+    6-stage pipeline (IF1/IF2/ID/EX/MEM/WB) with full forwarding, a
+    single-cycle 32-bit multiplier, single-cycle SRAMs, no branch
+    prediction and no branch delay slot. Under these rules an in-order
+    core's EX-stage operand values equal the architectural register state
+    immediately before the instruction, so the simulator executes each
+    instruction atomically at its EX cycle and accounts for the pipeline
+    through its two timing hazards:
+
+    - taken control flow resolved in EX flushes the front end:
+      {!branch_penalty} bubble cycles;
+    - a load's result leaves MEM one cycle after EX, so a dependent
+      instruction immediately following a load stalls one cycle
+      (load-use interlock).
+
+    This yields close to one instruction per cycle, as the paper states,
+    and gives every instruction a definite EX-stage cycle number — the
+    cycle at which the fault-injection hook fires for ALU instructions.
+
+    Fault injection follows the paper's case study exactly: only the 32
+    EX-stage ALU result endpoints can be corrupted; loads, stores,
+    branches and jumps are timing-safe. Compare instructions run through
+    the adder in subtract mode and derive the flag from the (possibly
+    faulted) difference, so timing errors can redirect branches — the
+    dominant cause of crashes and infinite loops. FI is gated to the
+    benchmark kernel by [l.nop 0x10] / [l.nop 0x11] markers, and
+    [l.nop 0x1] exits the simulation (or1ksim conventions). *)
+
+open Sfi_util
+
+val branch_penalty : int
+(** 2: front-end bubbles after taken control flow resolved in EX. *)
+
+val load_use_penalty : int
+(** 1: stall between a load and an immediately dependent consumer. *)
+
+type fault_hook =
+  cycle:int -> cls:Op_class.t -> a:U32.t -> b:U32.t -> result:U32.t -> U32.t
+(** Called at the EX cycle of every ALU instruction while FI is active;
+    returns the 32-bit fault mask XORed into the result register (0 for
+    no fault). *)
+
+type config = {
+  max_cycles : int;        (** watchdog: exceeded -> [Watchdog] outcome *)
+  fault_hook : fault_hook option;
+  fi_always_on : bool;     (** inject outside kernel markers too *)
+  trace : (pc:int -> Sfi_isa.Insn.t -> unit) option;
+      (** called before every retired instruction (debugging aid) *)
+}
+
+val default_config : config
+(** 50M-cycle watchdog, no fault hook, no trace. *)
+
+type outcome =
+  | Exited                 (** reached [l.nop 0x1] *)
+  | Watchdog               (** cycle budget exhausted or jump-to-self *)
+  | Trapped of string      (** illegal instruction, bad memory access... *)
+
+type stats = {
+  outcome : outcome;
+  cycles : int;            (** total cycles including stalls and flushes *)
+  instret : int;           (** retired instructions *)
+  kernel_cycles : int;     (** cycles spent inside the FI window *)
+  kernel_instret : int;
+  alu_retired : int;       (** ALU-class instructions inside the window *)
+  class_counts : int array;(** per {!Op_class.index}, inside the window *)
+  control_retired : int;   (** branches/jumps inside the window *)
+  memory_retired : int;    (** loads/stores inside the window *)
+  taken_branches : int;
+}
+
+val run : ?config:config -> Memory.t -> entry:int -> stats
+(** Executes until exit, watchdog, or trap. The memory is mutated in
+    place (reload or {!Memory.copy} a pristine image between trials). *)
+
+val ipc : stats -> float
+(** Retired instructions per cycle. *)

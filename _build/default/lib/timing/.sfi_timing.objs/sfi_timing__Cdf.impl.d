@@ -1,0 +1,1 @@
+lib/timing/cdf.ml: Array Float

@@ -1,0 +1,1 @@
+lib/timing/characterize.mli: Alu Cdf Cell_lib Op_class Rng Sfi_netlist Sfi_util U32 Vdd_model

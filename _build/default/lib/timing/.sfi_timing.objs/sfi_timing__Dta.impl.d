@@ -1,0 +1,1 @@
+lib/timing/dta.ml: Array Cell Cell_lib Circuit List Logic_sim Min_heap Queue Sfi_netlist Sfi_util Vdd_model

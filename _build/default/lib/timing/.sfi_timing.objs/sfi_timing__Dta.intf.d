@@ -1,0 +1,1 @@
+lib/timing/dta.mli: Cell_lib Circuit Logic_sim Sfi_netlist Vdd_model

@@ -1,0 +1,1 @@
+lib/timing/noise.ml: Rng Sfi_util

@@ -1,0 +1,1 @@
+lib/timing/noise.mli: Rng Sfi_util

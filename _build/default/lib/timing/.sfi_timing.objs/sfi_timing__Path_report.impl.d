@@ -1,0 +1,1 @@
+lib/timing/path_report.ml: Array Buffer Cell Cell_lib Circuit List Printf Sfi_netlist Sta Vdd_model

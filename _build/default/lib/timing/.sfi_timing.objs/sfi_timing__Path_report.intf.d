@@ -1,0 +1,1 @@
+lib/timing/path_report.mli: Cell Circuit Sfi_netlist

@@ -1,0 +1,1 @@
+lib/timing/sizing.ml: Array Circuit Float List Rng Sfi_netlist Sfi_util Sta

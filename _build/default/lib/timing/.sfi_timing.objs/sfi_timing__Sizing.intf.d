@@ -1,0 +1,1 @@
+lib/timing/sizing.mli: Circuit Sfi_netlist

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Cell Cell_lib Circuit Float List Sfi_netlist Vdd_model

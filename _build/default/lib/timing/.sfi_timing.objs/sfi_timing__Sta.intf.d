@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Cell_lib Circuit Sfi_netlist Vdd_model

@@ -1,0 +1,1 @@
+lib/timing/vdd_model.ml: Interp List Printf Sfi_netlist Sfi_util

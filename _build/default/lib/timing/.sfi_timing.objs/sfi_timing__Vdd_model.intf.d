@@ -1,0 +1,1 @@
+lib/timing/vdd_model.mli: Sfi_netlist

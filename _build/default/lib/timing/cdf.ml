@@ -1,0 +1,40 @@
+type t = float array (* sorted ascending *)
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty";
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let n t = Array.length t
+
+let min_value t = t.(0)
+
+let max_value t = t.(Array.length t - 1)
+
+(* Number of samples <= x. *)
+let count_leq t x =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if t.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let prob_greater t x =
+  float_of_int (Array.length t - count_leq t x) /. float_of_int (Array.length t)
+
+let prob_leq t x = 1. -. prob_greater t x
+
+let quantile t q =
+  if q <= 0. then t.(0)
+  else if q >= 1. then t.(Array.length t - 1)
+  else begin
+    let n = Array.length t in
+    let k = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    t.(max 0 (min (n - 1) k))
+  end
+
+let mean t = Array.fold_left ( +. ) 0. t /. float_of_int (Array.length t)
+
+let samples t = t

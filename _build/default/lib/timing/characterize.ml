@@ -1,0 +1,125 @@
+open Sfi_util
+open Sfi_netlist
+
+type operand_profile = {
+  profile_name : string;
+  sample : Rng.t -> U32.t * U32.t;
+}
+
+let uniform32 =
+  {
+    profile_name = "uniform32";
+    sample = (fun rng -> (Rng.bits32 rng, Rng.bits32 rng));
+  }
+
+let uniform16 =
+  {
+    profile_name = "uniform16";
+    sample = (fun rng -> (Rng.bits32 rng land 0xFFFF, Rng.bits32 rng land 0xFFFF));
+  }
+
+let uniform8 =
+  {
+    profile_name = "uniform8";
+    sample = (fun rng -> (Rng.bits32 rng land 0xFF, Rng.bits32 rng land 0xFF));
+  }
+
+type class_db = {
+  cls : Op_class.t;
+  profile_name : string;
+  endpoint_cdfs : Cdf.t array;
+  cycle_arrivals : float array array;
+  max_settle : float;
+}
+
+type t = {
+  vdd : float;
+  setup_ps : float;
+  cycles : int;
+  classes : class_db array;
+  max_settle : float;
+}
+
+let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) cls =
+  let dta = Dta.create ~vdd ~vdd_model ~lib alu.Alu.circuit in
+  (* Select the class once; the select settling cycle is not recorded. *)
+  Array.iter
+    (fun (c', net) -> Dta.set_input dta net (c' = cls))
+    alu.Alu.selects;
+  Dta.cycle dta;
+  let width = Alu.width in
+  let endpoints = alu.Alu.result in
+  let cycle_arrivals = Array.make_matrix cycles width 0. in
+  let max_settle = ref 0. in
+  for k = 0 to cycles - 1 do
+    let a, b = profile.sample rng in
+    Dta.set_input_vec dta alu.Alu.a a;
+    Dta.set_input_vec dta alu.Alu.b b;
+    Dta.cycle dta;
+    let got = Dta.read_vec dta endpoints in
+    let expect = Op_class.apply cls a b in
+    if got <> expect then
+      failwith
+        (Printf.sprintf
+           "Characterize: DTA functional mismatch for %s a=%08x b=%08x: got %08x expected %08x"
+           (Op_class.name cls) a b got expect);
+    let row = cycle_arrivals.(k) in
+    for e = 0 to width - 1 do
+      let s = Dta.settle_time dta endpoints.(e) in
+      row.(e) <- s;
+      if s > !max_settle then max_settle := s
+    done
+  done;
+  let endpoint_cdfs =
+    Array.init width (fun e -> Cdf.of_samples (Array.init cycles (fun k -> cycle_arrivals.(k).(e))))
+  in
+  {
+    cls;
+    profile_name = profile.profile_name;
+    endpoint_cdfs;
+    cycle_arrivals;
+    max_settle = !max_settle;
+  }
+
+let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
+    ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
+    ?(profile_for = fun _ -> uniform32) ~vdd (alu : Alu.t) =
+  if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
+  let root = Rng.of_int seed in
+  let classes =
+    Array.of_list
+      (List.map
+         (fun cls ->
+           let rng = Rng.split root in
+           characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib
+             ~profile:(profile_for cls) alu cls)
+         Op_class.all)
+  in
+  let max_settle =
+    Array.fold_left (fun acc (c : class_db) -> Float.max acc c.max_settle) 0. classes
+  in
+  { vdd; setup_ps; cycles; classes; max_settle }
+
+let class_db t cls = t.classes.(Op_class.index cls)
+
+(* The violation condition is (settle + setup) * scale > period, i.e.
+   settle > period / scale - setup. *)
+let threshold t ~period_ps ~scale = (period_ps /. scale) -. t.setup_ps
+
+let error_probability t cls ~endpoint ~period_ps ~scale =
+  let db = class_db t cls in
+  Cdf.prob_greater db.endpoint_cdfs.(endpoint) (threshold t ~period_ps ~scale)
+
+let class_first_failure_mhz t cls ~scale =
+  let db = class_db t cls in
+  (* Zero error probability iff period/scale - setup >= max settle. *)
+  let period = (db.max_settle +. t.setup_ps) *. scale in
+  1e6 /. period
+
+let violation_mask t cls ~cycle ~period_ps ~scale =
+  let db = class_db t cls in
+  let row = db.cycle_arrivals.(cycle) in
+  let thr = threshold t ~period_ps ~scale in
+  let mask = ref 0 in
+  Array.iteri (fun e s -> if s > thr then mask := !mask lor (1 lsl e)) row;
+  !mask

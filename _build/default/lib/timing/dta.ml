@@ -1,0 +1,114 @@
+open Sfi_util
+open Sfi_netlist
+
+type t = {
+  circuit : Circuit.t;
+  delay : float array; (* per gate, ps at the chosen voltage *)
+  values : bool array; (* per net *)
+  settle : float array; (* per net, last transition in current cycle *)
+  heap : Min_heap.t;
+  staged : (Circuit.net * bool) Queue.t;
+  mutable events : int;
+  is_input : bool array;
+}
+
+let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
+    ?(lib = Cell_lib.default) (c : Circuit.t) =
+  let kind_factor =
+    let table = List.map (fun k -> (k, Vdd_model.derate_kind vdd_model lib k vdd)) Cell.all in
+    fun kind -> List.assq kind table
+  in
+  let delay =
+    Array.mapi
+      (fun i (g : Circuit.gate) -> c.Circuit.base_delay.(i) *. kind_factor g.Circuit.kind)
+      c.Circuit.gates
+  in
+  let values = Array.make c.Circuit.n_nets false in
+  (match c.Circuit.const_true with Some n -> values.(n) <- true | None -> ());
+  (* Settle the circuit for the all-low input state using a zero-delay
+     pass; subsequent cycles start from this stable state. *)
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let ins = Array.map (fun n -> values.(n)) g.Circuit.fan_in in
+      values.(g.Circuit.out) <- Cell.eval g.Circuit.kind ins)
+    c.Circuit.gates;
+  let is_input = Array.make c.Circuit.n_nets false in
+  Array.iter (fun (_, n) -> is_input.(n) <- true) c.Circuit.pis;
+  {
+    circuit = c;
+    delay;
+    values;
+    settle = Array.make c.Circuit.n_nets 0.;
+    heap = Min_heap.create ~capacity:1024 ();
+    staged = Queue.create ();
+    events = 0;
+    is_input;
+  }
+
+let set_input t net v =
+  if net < 0 || net >= Array.length t.values || not t.is_input.(net) then
+    invalid_arg "Dta.set_input: not a primary input";
+  Queue.add (net, v) t.staged
+
+let set_input_vec t nets word =
+  Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
+
+(* Evaluate gate [gi] against current net values. *)
+let eval_gate t gi =
+  let g = t.circuit.Circuit.gates.(gi) in
+  let ins = g.Circuit.fan_in in
+  let values = t.values in
+  match g.Circuit.kind with
+  | Cell.Inv -> not values.(ins.(0))
+  | Cell.Buf -> values.(ins.(0))
+  | Cell.Nand2 -> not (values.(ins.(0)) && values.(ins.(1)))
+  | Cell.Nor2 -> not (values.(ins.(0)) || values.(ins.(1)))
+  | Cell.And2 -> values.(ins.(0)) && values.(ins.(1))
+  | Cell.Or2 -> values.(ins.(0)) || values.(ins.(1))
+  | Cell.Xor2 -> values.(ins.(0)) <> values.(ins.(1))
+  | Cell.Xnor2 -> values.(ins.(0)) = values.(ins.(1))
+  | Cell.Mux2 -> if values.(ins.(0)) then values.(ins.(2)) else values.(ins.(1))
+  | Cell.Aoi21 -> not ((values.(ins.(0)) && values.(ins.(1))) || values.(ins.(2)))
+  | Cell.Oai21 -> not ((values.(ins.(0)) || values.(ins.(1))) && values.(ins.(2)))
+
+let cycle t =
+  Array.fill t.settle 0 (Array.length t.settle) 0.;
+  let readers = t.circuit.Circuit.readers in
+  (* Launch staged input transitions at t = 0. *)
+  Queue.iter
+    (fun (net, v) ->
+      if t.values.(net) <> v then begin
+        t.values.(net) <- v;
+        Array.iter (fun gi -> Min_heap.push t.heap t.delay.(gi) gi) readers.(net)
+      end)
+    t.staged;
+  Queue.clear t.staged;
+  let rec drain () =
+    match Min_heap.pop t.heap with
+    | None -> ()
+    | Some (time, gi) ->
+      t.events <- t.events + 1;
+      let out_net = t.circuit.Circuit.gates.(gi).Circuit.out in
+      let v = eval_gate t gi in
+      if t.values.(out_net) <> v then begin
+        t.values.(out_net) <- v;
+        t.settle.(out_net) <- time;
+        Array.iter (fun ri -> Min_heap.push t.heap (time +. t.delay.(ri)) ri) readers.(out_net)
+      end;
+      drain ()
+  in
+  drain ()
+
+let value t net = t.values.(net)
+
+let read_vec t nets =
+  let acc = ref 0 in
+  Array.iteri (fun i n -> if t.values.(n) then acc := !acc lor (1 lsl i)) nets;
+  !acc
+
+let settle_time t net = t.settle.(net)
+
+let events_processed t = t.events
+
+let check_against t logic nets =
+  Array.for_all (fun n -> value t n = Logic_sim.value logic n) nets

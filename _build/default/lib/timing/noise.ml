@@ -1,0 +1,18 @@
+open Sfi_util
+
+type t = { sigma : float; clip : float }
+
+let create ?(clip = 2.0) ~sigma () =
+  if sigma < 0. then invalid_arg "Noise.create: negative sigma";
+  if clip < 0. then invalid_arg "Noise.create: negative clip";
+  { sigma; clip }
+
+let none = { sigma = 0.; clip = 2.0 }
+
+let sigma t = t.sigma
+
+let clip t = t.clip
+
+let max_excursion t = t.clip *. t.sigma
+
+let draw t rng = Rng.gaussian_clipped rng ~sigma:t.sigma ~clip:t.clip

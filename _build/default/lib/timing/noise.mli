@@ -1,0 +1,26 @@
+(** Supply-voltage noise model (paper §3.3).
+
+    Per cycle, an independent noise value is drawn from a normal
+    distribution with mean 0 V and standard deviation [sigma], saturated
+    at [clip] sigmas (the paper clips at 2 sigma to avoid physically
+    unrealistic spikes from the tails). *)
+
+open Sfi_util
+
+type t
+
+val create : ?clip:float -> sigma:float -> unit -> t
+(** Default [clip] is 2.0. [sigma] in volts; must be non-negative. *)
+
+val none : t
+(** Zero noise. *)
+
+val sigma : t -> float
+val clip : t -> float
+
+val max_excursion : t -> float
+(** [clip *. sigma]: the largest possible |noise| value, which bounds the
+    worst-case delay modulation (used for fast-path checks). *)
+
+val draw : t -> Rng.t -> float
+(** One per-cycle noise sample in volts. *)

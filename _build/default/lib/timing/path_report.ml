@@ -1,0 +1,111 @@
+open Sfi_netlist
+
+type step = {
+  gate_index : int;
+  cell : Cell.kind;
+  tag : string;
+  delay : float;
+  arrival : float;
+}
+
+type path = {
+  endpoint : string;
+  arrival : float;
+  steps : step list;
+}
+
+let trace (c : Circuit.t) ~(report : Sta.report) ~kind_factor net0 =
+  let arrival = report.Sta.net_arrival in
+  let rec go net acc =
+    let gi = c.Circuit.driver.(net) in
+    if gi < 0 then acc (* reached a primary input or constant *)
+    else begin
+      let g = c.Circuit.gates.(gi) in
+      let d = c.Circuit.base_delay.(gi) *. kind_factor g.Circuit.kind in
+      let step =
+        {
+          gate_index = gi;
+          cell = g.Circuit.kind;
+          tag = c.Circuit.tags.(g.Circuit.tag);
+          delay = d;
+          arrival = arrival.(net);
+        }
+      in
+      (* Pick the input whose arrival explains this gate's output time. *)
+      let target = arrival.(net) -. d in
+      let best = ref g.Circuit.fan_in.(0) in
+      Array.iter
+        (fun n ->
+          if abs_float (arrival.(n) -. target) < abs_float (arrival.(!best) -. target)
+          then best := n)
+        g.Circuit.fan_in;
+      go !best (step :: acc)
+    end
+  in
+  go net0 []
+
+let with_report ?(vdd = Vdd_model.nominal_voltage) c f =
+  let report = Sta.analyze ~vdd c in
+  let kind_factor =
+    let lib = Cell_lib.default and vm = Vdd_model.default in
+    let table = List.map (fun k -> (k, Vdd_model.derate_kind vm lib k vdd)) Cell.all in
+    fun kind -> List.assq kind table
+  in
+  f ~report ~kind_factor
+
+let critical_path ?vdd c ~endpoint =
+  with_report ?vdd c (fun ~report ~kind_factor ->
+      let _, net =
+        Array.to_list c.Circuit.pos |> List.find (fun (n, _) -> n = endpoint)
+      in
+      {
+        endpoint;
+        arrival = report.Sta.net_arrival.(net);
+        steps = trace c ~report ~kind_factor net;
+      })
+
+let worst_paths ?vdd ?(count = 5) c =
+  with_report ?vdd c (fun ~report ~kind_factor ->
+      let ranked =
+        Array.to_list c.Circuit.pos
+        |> List.map (fun (name, net) -> (name, net, report.Sta.net_arrival.(net)))
+        |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+      in
+      List.filteri (fun i _ -> i < count) ranked
+      |> List.map (fun (endpoint, net, arrival) ->
+             { endpoint; arrival; steps = trace c ~report ~kind_factor net }))
+
+let pp path =
+  let buf = Buffer.create 256 in
+  let n = List.length path.steps in
+  Buffer.add_string buf
+    (Printf.sprintf "endpoint %s: arrival %.1f ps, %d gates\n" path.endpoint path.arrival n);
+  (* Per-unit segment summary: long paths are dominated by one unit and a
+     gate-by-gate dump adds nothing. *)
+  let segments =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | (tag, count, delay) :: rest when tag = s.tag ->
+          (tag, count + 1, delay +. s.delay) :: rest
+        | _ -> (s.tag, 1, s.delay) :: acc)
+      [] path.steps
+    |> List.rev
+  in
+  List.iter
+    (fun (tag, count, delay) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  through %-8s %3d gates, %7.1f ps\n" tag count delay))
+    segments;
+  let emit s =
+    Buffer.add_string buf
+      (Printf.sprintf "    %-6s %-8s +%6.1f ps -> %8.1f ps\n" (Cell.name s.cell) s.tag
+         s.delay s.arrival)
+  in
+  if n <= 16 then List.iter emit path.steps
+  else begin
+    List.iteri (fun i s -> if i < 6 then emit s) path.steps;
+    Buffer.add_string buf (Printf.sprintf "    ... %d more gates ...\n" (n - 12));
+    List.iteri (fun i s -> if i >= n - 6 then emit s) path.steps
+  end;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Critical-path extraction and reporting.
+
+    Traces the longest path backward from each endpoint through the STA
+    arrival times: at every gate, the predecessor on the critical path is
+    the input whose arrival plus the gate delay equals the gate's output
+    arrival. Used to identify the reliability bottlenecks the paper's
+    introduction motivates ("structures that lead to timing walls"). *)
+
+open Sfi_netlist
+
+type step = {
+  gate_index : int;
+  cell : Cell.kind;
+  tag : string;    (** owning unit *)
+  delay : float;   (** ps *)
+  arrival : float; (** ps, at the gate output *)
+}
+
+type path = {
+  endpoint : string;   (** primary output name *)
+  arrival : float;     (** ps *)
+  steps : step list;   (** input-to-endpoint order *)
+}
+
+val critical_path : ?vdd:float -> Circuit.t -> endpoint:string -> path
+(** Longest path to one endpoint. Raises [Not_found] for unknown
+    endpoints. *)
+
+val worst_paths : ?vdd:float -> ?count:int -> Circuit.t -> path list
+(** The [count] (default 5) endpoints with the largest arrival, each with
+    its critical path, sorted slowest first. *)
+
+val pp : path -> string
+(** Multi-line rendering: one gate per line with cumulative arrival. *)

@@ -1,0 +1,119 @@
+open Sfi_util
+open Sfi_netlist
+
+type unit_target = { tag : string; fraction : float; compression : float }
+
+let default_targets =
+  [
+    { tag = "bypass"; fraction = 0.40; compression = 0.0 };
+    { tag = "mul"; fraction = 1.00; compression = 0.0 };
+    { tag = "addsub"; fraction = 0.88; compression = 1.0 };
+    { tag = "sra"; fraction = 0.80; compression = 0.0 };
+    { tag = "srl"; fraction = 0.80; compression = 0.0 };
+    { tag = "sll"; fraction = 0.80; compression = 0.0 };
+    { tag = "xor"; fraction = 0.70; compression = 0.0 };
+    { tag = "or"; fraction = 0.66; compression = 0.0 };
+    { tag = "and"; fraction = 0.66; compression = 0.0 };
+  ]
+
+(* The bypass network's outputs are internal nets, not endpoints, so it is
+   sized on its own output arrival; units are sized on their full
+   input-to-endpoint through-paths (which include the bypass). *)
+let measured_worst circuit t =
+  if t.tag = "bypass" then Sta.worst_tag_output circuit ~tag:t.tag
+  else Sta.worst_through circuit ~tag:t.tag
+
+(* Longest delay from each net to any endpoint, where each endpoint [e]
+   contributes a virtual margin of [worst -. arrival e]. Compressing the
+   resulting through-path lengths toward the single value [worst] then
+   compresses every real path toward {e its own endpoint's} static worst,
+   which preserves the per-bit arrival gradient (MSBs stay slower than
+   LSBs). *)
+let margin_delay_to_endpoint (c : Circuit.t) ~arrival ~worst =
+  let beta = Array.make c.Circuit.n_nets neg_infinity in
+  Array.iter
+    (fun (_, n) ->
+      let m = worst -. arrival.(n) in
+      if m > beta.(n) then beta.(n) <- m)
+    c.Circuit.pos;
+  let n_gates = Array.length c.Circuit.gates in
+  for i = n_gates - 1 downto 0 do
+    let g = c.Circuit.gates.(i) in
+    let through = beta.(g.Circuit.out) in
+    if Float.is_finite through then begin
+      let d = c.Circuit.base_delay.(i) in
+      Array.iter
+        (fun n -> if through +. d > beta.(n) then beta.(n) <- through +. d)
+        g.Circuit.fan_in
+    end
+  done;
+  beta
+
+let redistribute_slack ~tag ~compression (c : Circuit.t) =
+  if compression < 0. || compression > 1. then
+    invalid_arg "Sizing.redistribute_slack: compression must be in [0,1]";
+  if compression > 0. then begin
+    match Circuit.tag_id c tag with
+    | None -> ()
+    | Some tid ->
+      let arrival = (Sta.analyze c).Sta.net_arrival in
+      let worst = Sta.worst_through c ~tag in
+      if Float.is_finite worst && worst > 0. then begin
+        let beta = margin_delay_to_endpoint c ~arrival ~worst in
+        Circuit.scale_gate_delays c (fun i ->
+            let g = c.Circuit.gates.(i) in
+            if g.Circuit.tag <> tid then 1.
+            else begin
+              let out = g.Circuit.out in
+              let l = arrival.(out) +. beta.(out) in
+              if not (Float.is_finite l) || l <= 0. || l >= worst then 1.
+              else Float.min 4. ((1. -. compression) +. (compression *. worst /. l))
+            end)
+      end
+  end
+
+let size_to_clock ?(setup_ps = Sta.default_setup_ps) ?(targets = default_targets)
+    ?(iterations = 3) ~clock_mhz circuit =
+  let budget = Sta.period_ps_of_mhz clock_mhz -. setup_ps in
+  if budget <= 0. then invalid_arg "Sizing.size_to_clock: clock too fast for setup";
+  let present =
+    List.filter (fun t -> Circuit.tag_id circuit t.tag <> None) targets
+  in
+  let normalize () =
+    List.iter
+      (fun t ->
+        let worst = measured_worst circuit t in
+        if worst > 0. && Float.is_finite worst then
+          Circuit.scale_tag_delays circuit ~tag:t.tag
+            ~factor:(t.fraction *. budget /. worst))
+      present
+  in
+  for _ = 1 to iterations do
+    normalize ()
+  done;
+  (* Slack redistribution only equalizes the longest path through each
+     gate; repeated compress/normalize rounds converge the whole path
+     population toward the per-endpoint worst. *)
+  for _ = 1 to 6 do
+    List.iter
+      (fun t -> redistribute_slack ~tag:t.tag ~compression:t.compression circuit)
+      present;
+    for _ = 1 to iterations do
+      normalize ()
+    done
+  done
+
+let apply_process_variation ~sigma ~seed circuit =
+  let rng = Rng.of_int seed in
+  Circuit.scale_gate_delays circuit (fun _ ->
+      Float.max 0.7 (1. +. (sigma *. Rng.gaussian rng)))
+
+let report circuit =
+  Circuit.count_by_tag circuit
+  |> List.map fst
+  |> List.filter (fun tag -> not (List.mem tag [ "iso"; "select"; "top" ]))
+  |> List.map (fun tag ->
+         (* The bypass network's outputs are not endpoints, so it is
+            reported (like it is sized) on its own output arrival. *)
+         if tag = "bypass" then (tag, Sta.worst_tag_output circuit ~tag)
+         else (tag, Sta.worst_through circuit ~tag))

@@ -1,0 +1,72 @@
+(** Virtual synthesis: per-unit delay sizing and process variation.
+
+    A real flow synthesizes the whole core against one clock constraint and
+    then recovers area on non-critical paths, which slows them until they
+    just meet timing. The net effect on the ALU is that every datapath unit
+    ends up with a worst path close to (its share of) the clock period,
+    while the {e structure} of each unit still dictates its per-bit and
+    per-operand delay spread. This pass reproduces that effect directly:
+    it iteratively scales each tagged unit's gate delays until the worst
+    STA path through the unit matches a target, then applies random
+    per-gate process variation (die-specific, drawn once from a seeded
+    generator).
+
+    The default targets make the multiplier the frequency-limiting unit
+    with the adder/subtractor close behind, matching the case study's
+    constraint strategy (only ALU endpoints limit f_max; paper §2.1) and
+    the relative points of first failure of Fig. 4. *)
+
+open Sfi_netlist
+
+type unit_target = {
+  tag : string;
+  fraction : float;
+      (** fraction of the available datapath delay (period - setup) the
+          unit's worst static path is sized to *)
+  compression : float;
+      (** slack-redistribution strength in [0, 1]: 0 leaves the unit's
+          path-delay distribution as generated; 1 pulls every
+          input-to-endpoint path up to the unit's worst (a hard timing
+          wall). Synthesis area recovery produces intermediate values:
+          non-critical paths are slowed until they almost meet timing,
+          which is why a synthesized unit's {e dynamic} timing limit sits
+          close to its static one. *)
+}
+
+val default_targets : unit_target list
+(** mul: fraction 1.0 (it defines the STA limit), no compression needed —
+    the array multiplier's path distribution is naturally dense near its
+    worst. addsub: fraction 0.93 with strong compression, reproducing the
+    paper's small gap between the adder's point of first failure and the
+    STA limit. Shifters and logic units sit well below, uncompressed. *)
+
+val size_to_clock :
+  ?setup_ps:float ->
+  ?targets:unit_target list ->
+  ?iterations:int ->
+  clock_mhz:float ->
+  Circuit.t ->
+  unit
+(** Scales every listed unit (in place) so its worst through-path equals
+    [fraction *. (period -. setup)], then redistributes slack inside each
+    unit according to its [compression], and re-normalizes. Runs
+    [iterations] (default 3) measure-scale rounds; the fixed
+    ``iso``/``select`` overhead makes a single round slightly off, and the
+    iteration converges it. Unknown tags are ignored (the circuit may not
+    contain them). *)
+
+val redistribute_slack : tag:string -> compression:float -> Circuit.t -> unit
+(** One slack-redistribution pass over the gates of [tag]: every gate [g]
+    whose longest through-path [L g] is shorter than the unit's worst [W]
+    is slowed by the factor [(1 -. c) +. c *. (W /. L g)] (clamped to at
+    most 4x). Critical-path gates are untouched. *)
+
+val apply_process_variation : sigma:float -> seed:int -> Circuit.t -> unit
+(** Multiplies every gate delay by an independent lognormal-ish factor
+    [max 0.7 (1 +. sigma *. g)] with [g] standard normal — the
+    die-specific random component of gate delay. Deterministic in
+    [seed]. *)
+
+val report : Circuit.t -> (string * float) list
+(** Worst through-path arrival (ps, nominal voltage) per unit tag present
+    in the circuit, for diagnostics. *)

@@ -1,0 +1,64 @@
+open Sfi_netlist
+
+let default_setup_ps = 30.
+
+type report = {
+  net_arrival : float array;
+  endpoints : (string * float) array;
+  worst : float;
+}
+
+let analyze ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
+    ?(lib = Cell_lib.default) ?through (c : Circuit.t) =
+  let kind_factor =
+    (* One derate factor per cell kind at this voltage. *)
+    let table = List.map (fun k -> (k, Vdd_model.derate_kind vdd_model lib k vdd)) Cell.all in
+    fun kind -> List.assq kind table
+  in
+  let allowed =
+    match through with
+    | None -> fun _ -> true
+    | Some tag ->
+      let shared = [ "bypass"; "iso"; "select"; "top"; tag ] in
+      let ids = List.filter_map (fun t -> Circuit.tag_id c t) shared in
+      fun g -> List.mem g.Circuit.tag ids
+  in
+  let arrival = Array.make c.Circuit.n_nets 0. in
+  (match through with
+  | None -> ()
+  | Some _ ->
+    (* Under a through-restriction, only nets fed by allowed gates (or
+       free nets) carry a finite arrival. *)
+    Array.iter (fun (g : Circuit.gate) -> arrival.(g.Circuit.out) <- neg_infinity) c.Circuit.gates);
+  Array.iteri
+    (fun i (g : Circuit.gate) ->
+      if allowed g then begin
+        let worst_in =
+          Array.fold_left (fun acc n -> Float.max acc arrival.(n)) neg_infinity g.Circuit.fan_in
+        in
+        let d = c.Circuit.base_delay.(i) *. kind_factor g.Circuit.kind in
+        arrival.(g.Circuit.out) <- worst_in +. d
+      end)
+    c.Circuit.gates;
+  let endpoints =
+    Array.map (fun (name, n) -> (name, arrival.(n))) c.Circuit.pos
+  in
+  let worst = Array.fold_left (fun acc (_, a) -> Float.max acc a) neg_infinity endpoints in
+  { net_arrival = arrival; endpoints; worst }
+
+let worst_through c ~tag = (analyze ~through:tag c).worst
+
+let worst_tag_output c ~tag =
+  match Circuit.tag_id c tag with
+  | None -> neg_infinity
+  | Some tid ->
+    let arrival = (analyze c).net_arrival in
+    Array.fold_left
+      (fun acc (g : Circuit.gate) ->
+        if g.Circuit.tag = tid then Float.max acc arrival.(g.Circuit.out) else acc)
+      neg_infinity c.Circuit.gates
+
+let max_frequency_mhz ?(setup_ps = default_setup_ps) report =
+  1e6 /. (report.worst +. setup_ps)
+
+let period_ps_of_mhz f = 1e6 /. f

@@ -1,0 +1,56 @@
+(** Static timing analysis.
+
+    Classic topological longest-path analysis: the arrival time of a net is
+    the maximum arrival over the driving gate's inputs plus the gate delay,
+    with primary inputs and constants arriving at t = 0. Endpoints are the
+    primary outputs (the D-pins of the EX-stage flip-flops); their worst
+    arrival plus the flip-flop setup time defines the maximum clock
+    frequency (the "STA limit" the paper over-scales against).
+
+    The [through] variant restricts the analysis to paths traversing one
+    datapath unit — the per-unit slack view the virtual-synthesis sizing
+    pass needs. *)
+
+open Sfi_netlist
+
+val default_setup_ps : float
+(** Flip-flop setup time, 30 ps at the nominal corner. *)
+
+type report = {
+  net_arrival : float array;          (** per net, ps; [neg_infinity] if
+                                          unreachable under a [through]
+                                          restriction *)
+  endpoints : (string * float) array; (** per primary output *)
+  worst : float;                      (** max endpoint arrival, ps *)
+}
+
+val analyze :
+  ?vdd:float ->
+  ?vdd_model:Vdd_model.t ->
+  ?lib:Cell_lib.t ->
+  ?through:string ->
+  Circuit.t ->
+  report
+(** [analyze c] computes arrival times using the circuit's base delays.
+    [vdd] (default 0.7 V) derates every gate through [vdd_model] (default
+    {!Vdd_model.default}) with the per-kind skew from [lib] (default
+    {!Cell_lib.default}). [through] restricts paths to gates whose unit tag
+    is the given one, plus shared ["iso"], ["select"] and ["top"] gates;
+    endpoints unreachable through that unit report [neg_infinity]. *)
+
+val worst_through : Circuit.t -> tag:string -> float
+(** Shorthand for the worst endpoint arrival restricted to one unit, at
+    the nominal voltage. Shared ["bypass"], ["iso"], ["select"] and
+    ["top"] gates are always traversable. *)
+
+val worst_tag_output : Circuit.t -> tag:string -> float
+(** Worst (unrestricted) arrival at the output net of any gate carrying
+    [tag]; used to size stages, like the operand bypass network, whose
+    outputs are not primary outputs. [neg_infinity] for unknown tags. *)
+
+val max_frequency_mhz : ?setup_ps:float -> report -> float
+(** The STA frequency limit in MHz: [1e6 /. (worst +. setup)] with delays
+    in ps. *)
+
+val period_ps_of_mhz : float -> float
+(** Clock period in ps for a frequency in MHz. *)

@@ -1,0 +1,1 @@
+lib/util/op_class.ml: List U32

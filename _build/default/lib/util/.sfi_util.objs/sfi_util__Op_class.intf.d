@@ -1,0 +1,1 @@
+lib/util/op_class.mli: U32

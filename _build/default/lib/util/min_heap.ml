@@ -1,0 +1,73 @@
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  { keys = Array.make capacity 0.; payloads = Array.make capacity 0; size = 0 }
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) 0. and payloads = Array.make (2 * n) 0 in
+  Array.blit t.keys 0 keys 0 n;
+  Array.blit t.payloads 0 payloads 0 n;
+  t.keys <- keys;
+  t.payloads <- payloads
+
+let swap t i j =
+  let k = t.keys.(i) and p = t.payloads.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.payloads.(i) <- t.payloads.(j);
+  t.keys.(j) <- k;
+  t.payloads.(j) <- p
+
+let push t key payload =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.payloads.(t.size) <- payload;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.keys.(!i) < t.keys.(parent) then begin
+      swap t !i parent;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and payload = t.payloads.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.payloads.(0) <- t.payloads.(t.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+        if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (key, payload)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.keys.(0)
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0

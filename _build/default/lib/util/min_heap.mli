@@ -1,0 +1,21 @@
+(** Binary min-heap with float keys and integer payloads.
+
+    Used as the event queue of the dynamic timing simulator; payloads are
+    gate ids. Ties are popped in unspecified order. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val push : t -> float -> int -> unit
+
+val pop : t -> (float * int) option
+(** Removes and returns the minimum-key element. *)
+
+val peek_key : t -> float option
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit

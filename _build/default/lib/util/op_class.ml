@@ -1,0 +1,37 @@
+type t = Add | Sub | Mul | Sll | Srl | Sra | And_ | Or_ | Xor_
+
+let all = [ Add; Sub; Mul; Sll; Srl; Sra; And_; Or_; Xor_ ]
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor_ -> "xor"
+
+let of_name s = List.find_opt (fun c -> name c = s) all
+
+let apply c a b =
+  match c with
+  | Add -> U32.add a b
+  | Sub -> U32.sub a b
+  | Mul -> U32.mul a b
+  | Sll -> U32.shift_left a (b land 31)
+  | Srl -> U32.shift_right_logical a (b land 31)
+  | Sra -> U32.shift_right_arith a (b land 31)
+  | And_ -> U32.logand a b
+  | Or_ -> U32.logor a b
+  | Xor_ -> U32.logxor a b
+
+let index c =
+  let rec find i = function
+    | [] -> assert false
+    | x :: rest -> if x = c then i else find (i + 1) rest
+  in
+  find 0 all
+
+let count = List.length all

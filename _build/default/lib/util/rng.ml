@@ -1,0 +1,64 @@
+type t = { mutable state : int64; mutable spare : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed; spare = None }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state; spare = t.spare }
+
+(* SplitMix64 finalizer (variant 13 of Stafford's mix). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  create seed
+
+let bits32 t = Int64.to_int (Int64.shift_right_logical (int64 t) 32)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 uniform bits; the modulo bias is at most bound / 2^62 and is
+     irrelevant at the bounds used here. *)
+  let r = Int64.to_int (int64 t) land max_int in
+  r mod bound
+
+let bool t = Int64.compare (int64 t) 0L < 0
+
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t < p
+
+let gaussian t =
+  match t.spare with
+  | Some g ->
+    t.spare <- None;
+    g
+  | None ->
+    (* Box-Muller on two fresh uniforms; guard against log 0. *)
+    let rec u1 () =
+      let u = float t in
+      if u > 0. then u else u1 ()
+    in
+    let u = u1 () and v = float t in
+    let r = sqrt (-2. *. log u) and theta = 2. *. Float.pi *. v in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let gaussian_clipped t ~sigma ~clip =
+  if sigma = 0. then 0.
+  else
+    let g = gaussian t *. sigma in
+    let lim = clip *. sigma in
+    Float.max (-.lim) (Float.min lim g)

@@ -1,0 +1,51 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    fast, high-quality 64-bit generator whose [split] operation yields
+    statistically independent streams.  Every stochastic component of the
+    library (supply-voltage noise, fault sampling, operand generation,
+    Monte-Carlo trial seeds) draws from an explicit [Rng.t] so that whole
+    experiments are reproducible from a single root seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Generators created from the
+    same seed produce identical streams. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the
+    same stream. Useful for replaying a decision sequence. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits32 : t -> int
+(** 32 uniform random bits as an [int] in [\[0, 2{^32})]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller; one fresh pair per two calls). *)
+
+val gaussian_clipped : t -> sigma:float -> clip:float -> float
+(** [gaussian_clipped t ~sigma ~clip] draws [N(0, sigma^2)] saturated to
+    [\[-clip*sigma, +clip*sigma\]], the paper's supply-noise model with
+    [clip = 2.0]. [sigma = 0.] yields exactly [0.]. *)

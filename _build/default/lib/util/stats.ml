@@ -1,0 +1,74 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.median: empty";
+  let ys = sorted_copy xs in
+  if n land 1 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let ys = sorted_copy xs in
+  let p = Float.max 0. (Float.min 100. p) in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then ys.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (ys.(lo) *. (1. -. w)) +. (ys.(hi) *. w)
+  end
+
+let fraction pred xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let k = Array.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 xs in
+    float_of_int k /. float_of_int n
+  end
+
+let mean_ci95 xs =
+  let n = Array.length xs in
+  let m = mean xs in
+  if n < 2 then (m, 0.)
+  else (m, 1.96 *. stddev xs /. sqrt (float_of_int n))
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max xs in
+  let counts = Array.make bins 0 in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let index x =
+    let i = int_of_float ((x -. lo) /. width) in
+    if i >= bins then bins - 1 else if i < 0 then 0 else i
+  in
+  Array.iter (fun x -> counts.(index x) <- counts.(index x) + 1) xs;
+  { lo; hi; counts }

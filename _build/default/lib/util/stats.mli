@@ -1,0 +1,34 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for fewer than two
+    samples. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. Raises [Invalid_argument] on empty input. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even sizes). Does not
+    mutate its argument. Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input. *)
+
+val fraction : ('a -> bool) -> 'a array -> float
+(** Fraction of elements satisfying the predicate; [0.] on empty input. *)
+
+val mean_ci95 : float array -> float * float
+(** [(mean, halfwidth)] of the normal-approximation 95% confidence interval
+    of the mean. Halfwidth is [0.] for fewer than two samples. *)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+val histogram : bins:int -> float array -> histogram
+(** Equal-width histogram spanning [min, max] of the samples. Values equal
+    to the maximum land in the last bin. [bins] must be positive. *)

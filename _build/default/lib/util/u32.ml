@@ -1,0 +1,60 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+
+let of_int x = x land mask
+
+let to_signed x = if x land 0x8000_0000 <> 0 then x - 0x1_0000_0000 else x
+
+let of_signed x = x land mask
+
+let add a b = (a + b) land mask
+
+let sub a b = (a - b) land mask
+
+let mul a b =
+  (* Split 32x32 into 16-bit halves so the intermediate products stay well
+     inside the 63-bit native range. *)
+  let al = a land 0xFFFF and ah = a lsr 16 in
+  let bl = b land 0xFFFF and bh = b lsr 16 in
+  let low = al * bl in
+  let mid = ((al * bh) + (ah * bl)) land 0xFFFF in
+  (low + (mid lsl 16)) land mask
+
+let logand a b = a land b
+
+let logor a b = a lor b
+
+let logxor a b = a lxor b
+
+let lognot a = lnot a land mask
+
+let shift_left a n = (a lsl (n land 31)) land mask
+
+let shift_right_logical a n = a lsr (n land 31)
+
+let shift_right_arith a n =
+  let n = n land 31 in
+  (to_signed a asr n) land mask
+
+let bit x i = (x lsr i) land 1 = 1
+
+let set_bit x i v = if v then x lor (1 lsl i) else x land lnot (1 lsl i) land mask
+
+let flip_bits x ~mask:m = x lxor m
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let sext ~bits v =
+  if bits <= 0 || bits > 32 then invalid_arg "U32.sext: bits out of range";
+  let v = v land ((1 lsl bits) - 1) in
+  if bits < 32 && v land (1 lsl (bits - 1)) <> 0 then (v - (1 lsl bits)) land mask
+  else v
+
+let lt_u a b = a < b
+
+let lt_s a b = to_signed a < to_signed b
+
+let to_hex x = Printf.sprintf "%08x" x

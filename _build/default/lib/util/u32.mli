@@ -1,0 +1,54 @@
+(** 32-bit unsigned word arithmetic on native [int].
+
+    Words are represented as OCaml [int]s in the canonical range
+    [\[0, 2{^32})]. All operations return canonical values. This avoids
+    [Int32] boxing in the simulator's hot loop. *)
+
+type t = int
+(** Invariant: [0 <= t < 0x1_0000_0000]. *)
+
+val mask : int
+(** [0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** Truncate a native int to its low 32 bits. *)
+
+val to_signed : t -> int
+(** Reinterpret as a two's-complement signed 32-bit value in
+    [\[-2{^31}, 2{^31})]. *)
+
+val of_signed : int -> t
+(** Inverse of [to_signed] (truncates to 32 bits first). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Low 32 bits of the product (the single-cycle multiplier's result). *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+(** Shift amounts are taken modulo 32, as the OR1K barrel shifter does. *)
+
+val bit : t -> int -> bool
+(** [bit x i] is bit [i] (0 = LSB). *)
+
+val set_bit : t -> int -> bool -> t
+val flip_bits : t -> mask:t -> t
+(** XOR with a fault mask. *)
+
+val popcount : t -> int
+
+val sext : bits:int -> int -> t
+(** [sext ~bits v] sign-extends the low [bits] bits of [v] to 32 bits. *)
+
+val lt_u : t -> t -> bool
+val lt_s : t -> t -> bool
+
+val to_hex : t -> string
+(** 8-digit lowercase hex, e.g. ["0000beef"]. *)

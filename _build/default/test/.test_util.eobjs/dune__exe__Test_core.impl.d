@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Experiments Flow Lazy List Power Printf Rng Sfi_core Sfi_fi Sfi_timing Sfi_util String Vdd_model

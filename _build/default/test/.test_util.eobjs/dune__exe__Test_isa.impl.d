@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Encode Insn List Op_class Program QCheck QCheck_alcotest Sfi_isa Sfi_util String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Bench Char Cpu Crc32 Dijkstra Fir Kmeans Lazy List Matmul Median Printf Registry Sfi_isa Sfi_kernels Sfi_sim Sfi_util String U32

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Alu Array Cell Cell_lib Circuit Datapath Lazy List Logic_sim Op_class Printf QCheck QCheck_alcotest Sfi_netlist Sfi_util String U32 Verilog

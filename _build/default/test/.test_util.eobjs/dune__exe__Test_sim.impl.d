@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Asm Cpu Insn List Memory Op_class Program Sfi_isa Sfi_sim Sfi_util U32

