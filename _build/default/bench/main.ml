@@ -8,10 +8,17 @@
      dune exec bench/main.exe -- fig5 fig6    # a subset
      dune exec bench/main.exe -- --paper      # paper-scale Monte-Carlo (slow)
      dune exec bench/main.exe -- --bechamel   # only the Bechamel microbenches
+     dune exec bench/main.exe -- --jobs 4     # pin the domain-pool size
+     dune exec bench/main.exe -- --smoke      # one fast parallel-vs-serial sweep
+     dune build @bench-smoke                  # the same, as a dune alias
 
    After the experiment regeneration, a Bechamel micro-benchmark suite
    times the computational core of each table/figure driver plus the
-   engine primitives (one [Test.make] per artifact). *)
+   engine primitives (one [Test.make] per artifact).
+
+   Every run ends by writing BENCH.json — per-experiment wall times, the
+   Bechamel estimates and the parallel-smoke speedup — so successive PRs
+   can track the performance trajectory mechanically. *)
 
 open Sfi_util
 open Sfi_core
@@ -120,6 +127,7 @@ loop:   l.addi r2, r2, 3
       | Some (est :: _) -> rows := (name, est) :: !rows
       | _ -> ())
     results;
+  let rows = List.sort compare !rows in
   let t =
     Table.create ~title:"Bechamel microbenchmarks (monotonic clock)"
       [ ("benchmark", Table.Left); ("time/run", Table.Right) ]
@@ -130,25 +138,178 @@ loop:   l.addi r2, r2, 3
     else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.0f ns" ns
   in
-  List.iter
-    (fun (name, est) -> Table.add_row t [ name; fmt_ns est ])
-    (List.sort compare !rows);
-  Table.print t
+  List.iter (fun (name, est) -> Table.add_row t [ name; fmt_ns est ]) rows;
+  Table.print t;
+  rows
+
+(* ---------- parallel smoke: serial vs pooled sweep ---------- *)
+
+type smoke = {
+  smoke_points : int;
+  smoke_trials : int;
+  smoke_jobs : int;
+  serial_wall_s : float;
+  parallel_wall_s : float;
+}
+
+let points_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p : Sfi_fi.Campaign.point) (q : Sfi_fi.Campaign.point) ->
+         p.Sfi_fi.Campaign.freq_mhz = q.Sfi_fi.Campaign.freq_mhz
+         && p.Sfi_fi.Campaign.trials = q.Sfi_fi.Campaign.trials
+         && p.Sfi_fi.Campaign.finished_rate = q.Sfi_fi.Campaign.finished_rate
+         && p.Sfi_fi.Campaign.correct_rate = q.Sfi_fi.Campaign.correct_rate
+         && p.Sfi_fi.Campaign.fi_per_kcycle = q.Sfi_fi.Campaign.fi_per_kcycle
+         && (p.Sfi_fi.Campaign.mean_error = q.Sfi_fi.Campaign.mean_error
+            || Float.is_nan p.Sfi_fi.Campaign.mean_error
+               && Float.is_nan q.Sfi_fi.Campaign.mean_error)
+         && p.Sfi_fi.Campaign.any_fault_possible = q.Sfi_fi.Campaign.any_fault_possible)
+       a b
+
+(* One fast model-C sweep run twice — jobs = 1 then jobs = default — to
+   measure the pool's wall-time gain and assert the determinism contract
+   end to end. *)
+let parallel_smoke () =
+  let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 400 } () in
+  let bench = Sfi_kernels.Median.create ~n:17 () in
+  let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
+  let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
+  let freqs = List.map (fun r -> fsta *. r) [ 1.02; 1.10; 1.18; 1.26 ] in
+  let trials = 8 in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let pts = Sfi_fi.Campaign.sweep ~trials ~jobs ~bench ~model ~freqs_mhz:freqs () in
+    (pts, Unix.gettimeofday () -. t0)
+  in
+  ignore (run 1) (* warm the reference-cycle cache out of the timed region *);
+  let serial_pts, serial_wall_s = run 1 in
+  let jobs = Pool.default_jobs () in
+  let parallel_pts, parallel_wall_s = run jobs in
+  if not (points_equal serial_pts parallel_pts) then
+    failwith "parallel smoke: jobs=1 and jobs=N produced different points";
+  Printf.printf
+    "parallel smoke: %d points x %d trials, serial %.2f s, %d job(s) %.2f s (%.2fx), \
+     results bit-identical\n%!"
+    (List.length freqs) trials serial_wall_s jobs parallel_wall_s
+    (serial_wall_s /. Float.max 1e-9 parallel_wall_s);
+  {
+    smoke_points = List.length freqs;
+    smoke_trials = trials;
+    smoke_jobs = jobs;
+    serial_wall_s;
+    parallel_wall_s;
+  }
+
+(* ---------- BENCH.json ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"sfi-bench/1\",\n";
+  add "  \"generated_unix\": %.0f,\n" (Unix.time ());
+  add "  \"jobs\": %d,\n" (Pool.default_jobs ());
+  add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  add "  \"scale\": \"%s\",\n" (json_escape scale_label);
+  add "  \"experiments\": [";
+  List.iteri
+    (fun i (id, dt) ->
+      add "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f}" (if i = 0 then "" else ",")
+        (json_escape id) dt)
+    experiments;
+  add "%s],\n" (if experiments = [] then "" else "\n  ");
+  add "  \"bechamel_ns_per_run\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      add "%s\n    {\"name\": \"%s\", \"ns\": %.1f}" (if i = 0 then "" else ",")
+        (json_escape name) ns)
+    bechamel;
+  add "%s],\n" (if bechamel = [] then "" else "\n  ");
+  (match smoke with
+  | None -> add "  \"parallel_smoke\": null\n"
+  | Some s ->
+    add
+      "  \"parallel_smoke\": {\"points\": %d, \"trials\": %d, \"jobs\": %d, \
+       \"serial_wall_s\": %.3f, \"parallel_wall_s\": %.3f, \"speedup\": %.2f, \
+       \"identical_results\": true}\n"
+      s.smoke_points s.smoke_trials s.smoke_jobs s.serial_wall_s s.parallel_wall_s
+      (s.serial_wall_s /. Float.max 1e-9 s.parallel_wall_s));
+  add "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s\n%!" path
 
 (* ---------- driver ---------- *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N / --jobs=N is consumed here; everything else flows through. *)
+  let rec parse = function
+    | [] -> []
+    | ("--jobs" | "-j") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        Pool.set_default_jobs n;
+        parse rest
+      | _ ->
+        prerr_endline "bad --jobs value";
+        exit 2)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+      | Some n when n >= 1 ->
+        Pool.set_default_jobs n;
+        parse rest
+      | _ ->
+        prerr_endline "bad --jobs value";
+        exit 2)
+    | a :: rest -> a :: parse rest
+  in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
   let paper = List.mem "--paper" args in
   let bechamel_only = List.mem "--bechamel" args in
   let skip_bechamel = List.mem "--no-bechamel" args in
+  let smoke_only = List.mem "--smoke" args in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
-  if not bechamel_only then begin
+  Printf.printf "parallel engine: %d job(s) (of %d recommended domains)\n%!"
+    (Pool.default_jobs ())
+    (Domain.recommended_domain_count ());
+  if smoke_only then begin
+    let smoke = parallel_smoke () in
+    write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
+      ~smoke:(Some smoke)
+  end
+  else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
-    Printf.printf "regenerating %s at %s scale\n\n%!"
-      (if ids = [] then "all tables and figures" else String.concat ", " ids)
-      scale.Experiments.label;
-    let ctx = Experiments.make_ctx scale in
-    Experiments.run ctx ids
-  end;
-  if bechamel_only || ((not skip_bechamel) && ids = []) then bechamel_suite ()
+    let timings =
+      if bechamel_only then []
+      else begin
+        Printf.printf "regenerating %s at %s scale\n\n%!"
+          (if ids = [] then "all tables and figures" else String.concat ", " ids)
+          scale.Experiments.label;
+        let ctx = Experiments.make_ctx scale in
+        Experiments.run ctx ids
+      end
+    in
+    let bech_rows =
+      if bechamel_only || ((not skip_bechamel) && ids = []) then bechamel_suite () else []
+    in
+    let smoke = parallel_smoke () in
+    write_bench_json ~path:"BENCH.json"
+      ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
+      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke)
+  end

@@ -8,6 +8,27 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Shared --jobs option: overrides the process-wide default job count
+   (otherwise SFI_JOBS or all cores) before any pool is created. *)
+let jobs_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for Monte-Carlo and characterization fan-out \
+                 (default: \\$SFI_JOBS or all cores).")
+
+let apply_jobs jobs =
+  Option.iter
+    (fun n ->
+      if n < 1 then (
+        Printf.eprintf "sfi: --jobs must be >= 1 (got %d)\n" n;
+        exit 2);
+      Sfi_util.Pool.set_default_jobs n)
+    jobs;
+  Printf.printf "parallel engine: %d job(s) (of %d recommended domains)\n%!"
+    (Sfi_util.Pool.default_jobs ())
+    (Domain.recommended_domain_count ())
+
 (* ---------- sfi experiments ---------- *)
 
 let experiments_cmd =
@@ -18,20 +39,21 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only =
+  let run ids paper list_only jobs =
     if list_only then
       List.iter
         (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
         Sfi_core.Experiments.all
     else begin
+      apply_jobs jobs;
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
       let ctx = Sfi_core.Experiments.make_ctx scale in
-      Sfi_core.Experiments.run ctx ids
+      ignore (Sfi_core.Experiments.run ctx ids)
     end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ paper $ list_only)
+    Term.(const run $ ids $ paper $ list_only $ jobs_arg)
 
 (* ---------- sfi flow ---------- *)
 
@@ -148,7 +170,8 @@ let campaign_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
   in
-  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv =
+  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs =
+    apply_jobs jobs;
     match Sfi_kernels.Registry.by_name bench_name with
     | None ->
       Printf.eprintf "unknown benchmark %s (try: %s)\n" bench_name
@@ -213,7 +236,7 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
-          $ prob $ char_cycles $ csv)
+          $ prob $ char_cycles $ csv $ jobs_arg)
 
 (* ---------- sfi verilog ---------- *)
 

@@ -1,1 +1,1 @@
-lib/core/flow.ml: Alu Array Buffer Cell_lib Characterize Circuit Hashtbl List Noise Option Printf Sfi_fi Sfi_netlist Sfi_timing Sizing Sta Vdd_model
+lib/core/flow.ml: Alu Array Buffer Cell_lib Characterize Circuit Hashtbl List Mutex Noise Option Printf Sfi_fi Sfi_netlist Sfi_timing Sizing Sta Vdd_model

@@ -756,10 +756,21 @@ let run_one ctx = function
 
 let run ctx ids =
   let ids = if ids = [] then List.map fst all else ids in
-  List.iter
+  List.filter_map
     (fun id ->
-      Printf.printf "==== %s (%s scale) ====\n%!" id ctx.scale.label;
-      let t0 = Sys.time () in
-      if run_one ctx id then Printf.printf "---- %s done in %.1f s ----\n\n%!" id (Sys.time () -. t0)
-      else Printf.printf "unknown experiment id %S\n\n" id)
+      Printf.printf "==== %s (%s scale, %d job%s) ====\n%!" id ctx.scale.label
+        (Pool.default_jobs ())
+        (if Pool.default_jobs () = 1 then "" else "s");
+      (* Wall clock, not [Sys.time]: CPU time sums over all domains and
+         would hide any parallel speedup. *)
+      let t0 = Unix.gettimeofday () in
+      if run_one ctx id then begin
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "---- %s done in %.1f s ----\n\n%!" id dt;
+        Some (id, dt)
+      end
+      else begin
+        Printf.printf "unknown experiment id %S\n\n" id;
+        None
+      end)
     ids

@@ -38,6 +38,7 @@ val all : (string * string) list
 val run_one : ctx -> string -> bool
 (** Runs one experiment by id; [false] for unknown ids. *)
 
-val run : ctx -> string list -> unit
+val run : ctx -> string list -> (string * float) list
 (** Runs the given ids (or everything when the list is empty), printing a
-    header per experiment. *)
+    header per experiment. Returns [(id, wall_seconds)] for every id that
+    ran, in run order — the raw material of BENCH.json. *)

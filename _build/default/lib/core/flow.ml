@@ -31,6 +31,9 @@ type t = {
   alu : Alu.t;
   sta : Sta.report;
   dbs : (float * string, Characterize.t) Hashtbl.t;
+  (* [dbs] is a memo table reachable from campaign code running on any
+     domain; [dbs_lock] makes lookups compute-once and race-free. *)
+  dbs_lock : Mutex.t;
 }
 
 let create ?(config = default_config) () =
@@ -44,7 +47,7 @@ let create ?(config = default_config) () =
   if config.corner_factor <> 1.0 then
     Circuit.scale_gate_delays alu.Alu.circuit (fun _ -> config.corner_factor);
   let sta = Sta.analyze ~lib:config.lib ~vdd_model:config.vdd_model alu.Alu.circuit in
-  { config; alu; sta; dbs = Hashtbl.create 8 }
+  { config; alu; sta; dbs = Hashtbl.create 8; dbs_lock = Mutex.create () }
 
 let config t = t.config
 
@@ -61,17 +64,22 @@ let sta_limit_mhz t ~vdd =
 
 let char_db ?(profile = Characterize.uniform32) t ~vdd =
   let key = (vdd, profile.Characterize.profile_name) in
-  match Hashtbl.find_opt t.dbs key with
-  | Some db -> db
-  | None ->
-    let db =
-      Characterize.run ~cycles:t.config.char_cycles ~seed:t.config.char_seed
-        ~vdd_model:t.config.vdd_model ~lib:t.config.lib
-        ~profile_for:(fun _ -> profile)
-        ~vdd t.alu
-    in
-    Hashtbl.replace t.dbs key db;
-    db
+  (* Compute-once under the lock: a second domain asking for the same
+     database blocks until the first has characterized and cached it.
+     Characterize.run may itself fan out on the pool; its submitter helps
+     drain the queue, so holding the lock here cannot deadlock. *)
+  Mutex.protect t.dbs_lock (fun () ->
+      match Hashtbl.find_opt t.dbs key with
+      | Some db -> db
+      | None ->
+        let db =
+          Characterize.run ~cycles:t.config.char_cycles ~seed:t.config.char_seed
+            ~vdd_model:t.config.vdd_model ~lib:t.config.lib
+            ~profile_for:(fun _ -> profile)
+            ~vdd t.alu
+        in
+        Hashtbl.replace t.dbs key db;
+        db)
 
 let model_a ~bit_flip_prob = Sfi_fi.Model.Fixed_probability { bit_flip_prob }
 
@@ -136,13 +144,14 @@ let summary t =
     (Printf.sprintf "  STA                : worst %.1f ps -> limit %.1f MHz @ 0.7 V\n"
        t.sta.Sta.worst
        (Sta.max_frequency_mhz t.sta));
-  Buffer.add_string buf
-    (Printf.sprintf "  DTA characterization cache: %d database(s), %d cycles each\n"
-       (Hashtbl.length t.dbs) t.config.char_cycles);
-  Hashtbl.iter
-    (fun (vdd, profile) (db : Characterize.t) ->
+  Mutex.protect t.dbs_lock (fun () ->
       Buffer.add_string buf
-        (Printf.sprintf "      vdd=%.2f V profile=%s max settle %.1f ps\n" vdd profile
-           db.Characterize.max_settle))
-    t.dbs;
+        (Printf.sprintf "  DTA characterization cache: %d database(s), %d cycles each\n"
+           (Hashtbl.length t.dbs) t.config.char_cycles);
+      Hashtbl.iter
+        (fun (vdd, profile) (db : Characterize.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      vdd=%.2f V profile=%s max settle %.1f ps\n" vdd profile
+               db.Characterize.max_settle))
+        t.dbs);
   Buffer.contents buf

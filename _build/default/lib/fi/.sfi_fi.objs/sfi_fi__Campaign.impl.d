@@ -1,1 +1,1 @@
-lib/fi/campaign.ml: Bench Cpu Float Hashtbl Injector List Rng Sfi_isa Sfi_kernels Sfi_sim Sfi_util
+lib/fi/campaign.ml: Array Bench Cpu Float Hashtbl Injector List Mutex Pool Rng Sfi_isa Sfi_kernels Sfi_sim Sfi_util

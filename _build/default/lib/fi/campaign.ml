@@ -22,16 +22,21 @@ type point = {
 }
 
 (* Fault-free cycle counts, cached per benchmark so watchdog budgets do
-   not require a reference run per trial. *)
+   not require a reference run per trial. Trials of one point run on
+   several domains, so the cache is mutex-guarded; holding the lock while
+   computing gives compute-once semantics (concurrent callers for the
+   same benchmark block until the first one has filled the entry). *)
 let reference_cycles =
   let cache : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let lock = Mutex.create () in
   fun (bench : Bench.t) ->
-    match Hashtbl.find_opt cache bench.Bench.name with
-    | Some c -> c
-    | None ->
-      let stats, _ = Bench.run_fault_free bench in
-      Hashtbl.replace cache bench.Bench.name stats.Cpu.cycles;
-      stats.Cpu.cycles
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt cache bench.Bench.name with
+        | Some c -> c
+        | None ->
+          let stats, _ = Bench.run_fault_free bench in
+          Hashtbl.replace cache bench.Bench.name stats.Cpu.cycles;
+          stats.Cpu.cycles)
 
 let run_trial_with ~bench ~model ~freq_mhz ~rng =
   let injector = Injector.create ~model ~freq_mhz ~rng in
@@ -64,40 +69,36 @@ let run_trial_with ~bench ~model ~freq_mhz ~rng =
 let run_trial ~bench ~model ~freq_mhz ~seed =
   run_trial_with ~bench ~model ~freq_mhz ~rng:(Rng.of_int seed)
 
+(* One pass over the trials accumulates every aggregate the point
+   reports; folding in trial order keeps the float sums identical for any
+   job count. *)
 let aggregate ~freq_mhz ~any_fault_possible trials_list =
-  let n = List.length trials_list in
-  let fn = float_of_int n in
-  let finished_rate =
-    float_of_int (List.length (List.filter (fun t -> t.finished) trials_list)) /. fn
-  in
-  let correct_rate =
-    float_of_int (List.length (List.filter (fun t -> t.correct) trials_list)) /. fn
-  in
-  let fi_per_kcycle =
+  let n, n_finished, n_correct, fi_sum, err_sum =
     List.fold_left
-      (fun acc t -> acc +. (1000. *. float_of_int t.fault_bits /. float_of_int t.kernel_cycles))
-      0. trials_list
-    /. fn
+      (fun (n, nf, nc, fi, es) t ->
+        ( n + 1,
+          (if t.finished then nf + 1 else nf),
+          (if t.correct then nc + 1 else nc),
+          fi +. (1000. *. float_of_int t.fault_bits /. float_of_int t.kernel_cycles),
+          if t.finished then es +. t.error else es ))
+      (0, 0, 0, 0., 0.) trials_list
   in
-  let finished_errors =
-    List.filter_map (fun t -> if t.finished then Some t.error else None) trials_list
-  in
-  let mean_error =
-    match finished_errors with
-    | [] -> nan
-    | errs -> List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs)
-  in
+  let fn = float_of_int n in
   {
     freq_mhz;
     trials = n;
-    finished_rate;
-    correct_rate;
-    fi_per_kcycle;
-    mean_error;
+    finished_rate = float_of_int n_finished /. fn;
+    correct_rate = float_of_int n_correct /. fn;
+    fi_per_kcycle = fi_sum /. fn;
+    mean_error = (if n_finished = 0 then nan else err_sum /. float_of_int n_finished);
     any_fault_possible;
   }
 
-let run_point ?(trials = 100) ?(seed = 1) ~bench ~model ~freq_mhz () =
+(* Determinism contract: the per-trial RNGs are split from the root seed
+   in index order *before* any trial is dispatched, and the results come
+   back from the pool in the same index order — so a point is
+   bit-identical for every job count. *)
+let run_point_in pool ?(trials = 100) ?(seed = 1) ~bench ~model ~freq_mhz () =
   if trials < 1 then invalid_arg "Campaign.run_point: trials must be positive";
   let root = Rng.of_int (seed lxor 0x0F1) in
   let probe = Injector.create ~model ~freq_mhz ~rng:(Rng.copy root) in
@@ -107,16 +108,27 @@ let run_point ?(trials = 100) ?(seed = 1) ~bench ~model ~freq_mhz () =
     aggregate ~freq_mhz ~any_fault_possible:false [ t ]
   end
   else begin
+    ignore (reference_cycles bench);
+    let rngs = Array.make trials root in
+    for i = 0 to trials - 1 do
+      rngs.(i) <- Rng.split root
+    done;
     let results =
-      List.init trials (fun _ ->
-          let rng = Rng.split root in
-          run_trial_with ~bench ~model ~freq_mhz ~rng)
+      Pool.map pool (fun rng -> run_trial_with ~bench ~model ~freq_mhz ~rng) rngs
     in
-    aggregate ~freq_mhz ~any_fault_possible:true results
+    aggregate ~freq_mhz ~any_fault_possible:true (Array.to_list results)
   end
 
-let sweep ?(trials = 100) ?(seed = 1) ~bench ~model ~freqs_mhz () =
-  List.map (fun freq_mhz -> run_point ~trials ~seed ~bench ~model ~freq_mhz ()) freqs_mhz
+let run_point ?trials ?seed ?jobs ~bench ~model ~freq_mhz () =
+  Pool.using ?jobs (fun pool -> run_point_in pool ?trials ?seed ~bench ~model ~freq_mhz ())
+
+let sweep ?trials ?seed ?jobs ~bench ~model ~freqs_mhz () =
+  (* One pool serves both levels: frequency points pipeline through it
+     while each point fans its trials out on the same executors. *)
+  Pool.using ?jobs (fun pool ->
+      Pool.map_list pool
+        (fun freq_mhz -> run_point_in pool ?trials ?seed ~bench ~model ~freq_mhz ())
+        freqs_mhz)
 
 let point_of_first_failure points =
   points

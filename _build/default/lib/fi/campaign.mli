@@ -9,7 +9,14 @@
 
     When the injector proves that no fault can occur at the operating
     point (the grayed-out "n/a" regions of the paper's figures), a single
-    fault-free run stands in for all trials. *)
+    fault-free run stands in for all trials.
+
+    Points and sweeps execute on a {!Sfi_util.Pool} of [jobs] domains
+    (default: [Pool.default_jobs ()], i.e. the [SFI_JOBS] environment
+    variable or all cores). Results are bit-identical for every job
+    count: the per-trial RNG streams are split from the root seed in a
+    fixed order before dispatch, and aggregation folds the trials in that
+    same order. *)
 
 open Sfi_kernels
 
@@ -40,21 +47,26 @@ val run_trial :
 val run_point :
   ?trials:int ->
   ?seed:int ->
+  ?jobs:int ->
   bench:Bench.t ->
   model:Model.t ->
   freq_mhz:float ->
   unit ->
   point
-(** Default 100 trials (the paper's minimum per data point). *)
+(** Default 100 trials (the paper's minimum per data point), fanned out
+    over [jobs] domains. The returned point does not depend on [jobs]. *)
 
 val sweep :
   ?trials:int ->
   ?seed:int ->
+  ?jobs:int ->
   bench:Bench.t ->
   model:Model.t ->
   freqs_mhz:float list ->
   unit ->
   point list
+(** Frequency points pipeline through the same [jobs]-domain pool their
+    trials fan out on. *)
 
 val point_of_first_failure : point list -> float option
 (** Lowest swept frequency at which the correct-rate drops below 100%

@@ -1,1 +1,1 @@
-lib/netlist/logic_sim.ml: Array Cell Circuit List Printf
+lib/netlist/logic_sim.ml: Array Circuit List Printf

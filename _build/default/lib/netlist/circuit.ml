@@ -190,6 +190,31 @@ let scale_tag_delays t ~tag ~factor =
 let scale_gate_delays t f =
   Array.iteri (fun i _ -> t.base_delay.(i) <- t.base_delay.(i) *. f i) t.gates
 
+(* Direct-indexing gate evaluation shared by the zero-delay simulator and
+   the event-driven DTA; unlike [Cell.eval] it reads net values in place
+   and allocates nothing. *)
+let eval_gate t values gi =
+  let g = t.gates.(gi) in
+  let ins = g.fan_in in
+  match g.kind with
+  | Cell.Inv -> not values.(ins.(0))
+  | Cell.Buf -> values.(ins.(0))
+  | Cell.Nand2 -> not (values.(ins.(0)) && values.(ins.(1)))
+  | Cell.Nor2 -> not (values.(ins.(0)) || values.(ins.(1)))
+  | Cell.And2 -> values.(ins.(0)) && values.(ins.(1))
+  | Cell.Or2 -> values.(ins.(0)) || values.(ins.(1))
+  | Cell.Xor2 -> values.(ins.(0)) <> values.(ins.(1))
+  | Cell.Xnor2 -> values.(ins.(0)) = values.(ins.(1))
+  | Cell.Mux2 -> if values.(ins.(0)) then values.(ins.(2)) else values.(ins.(1))
+  | Cell.Aoi21 -> not ((values.(ins.(0)) && values.(ins.(1))) || values.(ins.(2)))
+  | Cell.Oai21 -> not ((values.(ins.(0)) || values.(ins.(1))) && values.(ins.(2)))
+
+let eval_all_gates t values =
+  let gates = t.gates in
+  for gi = 0 to Array.length gates - 1 do
+    values.(gates.(gi).out) <- eval_gate t values gi
+  done
+
 let gate_count t = Array.length t.gates
 
 let count_by_kind t =

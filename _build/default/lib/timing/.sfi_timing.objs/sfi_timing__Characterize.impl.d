@@ -1,1 +1,1 @@
-lib/timing/characterize.ml: Alu Array Cdf Cell_lib Dta Float List Op_class Printf Rng Sfi_netlist Sfi_util Sta U32 Vdd_model
+lib/timing/characterize.ml: Alu Array Cdf Cell_lib Dta Float List Op_class Pool Printf Rng Sfi_netlist Sfi_util Sta U32 Vdd_model

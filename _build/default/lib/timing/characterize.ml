@@ -83,17 +83,22 @@ let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) 
 
 let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
     ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
-    ?(profile_for = fun _ -> uniform32) ~vdd (alu : Alu.t) =
+    ?(profile_for = fun _ -> uniform32) ?jobs ~vdd (alu : Alu.t) =
   if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
   let root = Rng.of_int seed in
+  (* Split the per-class RNGs from the root seed in class order before
+     dispatch; each class then runs on its own Dta.t instance, so the
+     characterization is bit-identical for every job count. *)
+  let tagged =
+    List.rev (List.fold_left (fun acc cls -> (cls, Rng.split root) :: acc) [] Op_class.all)
+  in
   let classes =
-    Array.of_list
-      (List.map
-         (fun cls ->
-           let rng = Rng.split root in
-           characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib
-             ~profile:(profile_for cls) alu cls)
-         Op_class.all)
+    Pool.using ?jobs (fun pool ->
+        Pool.map pool
+          (fun (cls, rng) ->
+            characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib
+              ~profile:(profile_for cls) alu cls)
+          (Array.of_list tagged))
   in
   let max_settle =
     Array.fold_left (fun acc (c : class_db) -> Float.max acc c.max_settle) 0. classes

@@ -60,6 +60,7 @@ val run :
   ?vdd_model:Vdd_model.t ->
   ?lib:Cell_lib.t ->
   ?profile_for:(Op_class.t -> operand_profile) ->
+  ?jobs:int ->
   vdd:float ->
   Alu.t ->
   t
@@ -68,7 +69,12 @@ val run :
     [uniform32] for every class) selects the operand distribution per
     class. During characterization the DTA's functional results are
     checked against [Op_class.apply]; a mismatch raises [Failure] (it
-    would indicate a broken netlist or simulator). *)
+    would indicate a broken netlist or simulator).
+
+    Classes are characterized in parallel on [jobs] domains (default
+    [Sfi_util.Pool.default_jobs ()]), each on its own DTA instance with a
+    pre-split RNG stream — the database is bit-identical for every job
+    count. *)
 
 val class_db : t -> Op_class.t -> class_db
 

@@ -27,11 +27,7 @@ let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
   (match c.Circuit.const_true with Some n -> values.(n) <- true | None -> ());
   (* Settle the circuit for the all-low input state using a zero-delay
      pass; subsequent cycles start from this stable state. *)
-  Array.iter
-    (fun (g : Circuit.gate) ->
-      let ins = Array.map (fun n -> values.(n)) g.Circuit.fan_in in
-      values.(g.Circuit.out) <- Cell.eval g.Circuit.kind ins)
-    c.Circuit.gates;
+  Circuit.eval_all_gates c values;
   let is_input = Array.make c.Circuit.n_nets false in
   Array.iter (fun (_, n) -> is_input.(n) <- true) c.Circuit.pis;
   {
@@ -53,23 +49,9 @@ let set_input t net v =
 let set_input_vec t nets word =
   Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
 
-(* Evaluate gate [gi] against current net values. *)
-let eval_gate t gi =
-  let g = t.circuit.Circuit.gates.(gi) in
-  let ins = g.Circuit.fan_in in
-  let values = t.values in
-  match g.Circuit.kind with
-  | Cell.Inv -> not values.(ins.(0))
-  | Cell.Buf -> values.(ins.(0))
-  | Cell.Nand2 -> not (values.(ins.(0)) && values.(ins.(1)))
-  | Cell.Nor2 -> not (values.(ins.(0)) || values.(ins.(1)))
-  | Cell.And2 -> values.(ins.(0)) && values.(ins.(1))
-  | Cell.Or2 -> values.(ins.(0)) || values.(ins.(1))
-  | Cell.Xor2 -> values.(ins.(0)) <> values.(ins.(1))
-  | Cell.Xnor2 -> values.(ins.(0)) = values.(ins.(1))
-  | Cell.Mux2 -> if values.(ins.(0)) then values.(ins.(2)) else values.(ins.(1))
-  | Cell.Aoi21 -> not ((values.(ins.(0)) && values.(ins.(1))) || values.(ins.(2)))
-  | Cell.Oai21 -> not ((values.(ins.(0)) || values.(ins.(1))) && values.(ins.(2)))
+(* Evaluate gate [gi] against current net values (shared with the
+   zero-delay simulator). *)
+let eval_gate t gi = Circuit.eval_gate t.circuit t.values gi
 
 let cycle t =
   Array.fill t.settle 0 (Array.length t.settle) 0.;

@@ -1,0 +1,1 @@
+lib/util/pool.ml: Array Atomic Condition Domain Fun List Mutex Queue String Sys

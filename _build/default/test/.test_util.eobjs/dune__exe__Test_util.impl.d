@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Float Fun Gen Int64 Interp List Op_class Printf QCheck QCheck_alcotest Rng Sfi_util Stats String Table U32
+test/test_util.ml: Alcotest Array Float Fun Gen Int64 Interp List Op_class Pool Printf QCheck QCheck_alcotest Rng Sfi_util Stats String Table U32

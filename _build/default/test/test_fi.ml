@@ -283,6 +283,49 @@ let test_campaign_poff_detection () =
   Alcotest.(check (option (float 0.))) "none" None
     (Campaign.point_of_first_failure [ mk 700. 1.0 ])
 
+(* Structural equality over [Campaign.point], except nan = nan for
+   [mean_error] (no trial finished on both sides). *)
+let point_equal (p : Campaign.point) (q : Campaign.point) =
+  p.Campaign.freq_mhz = q.Campaign.freq_mhz
+  && p.Campaign.trials = q.Campaign.trials
+  && p.Campaign.finished_rate = q.Campaign.finished_rate
+  && p.Campaign.correct_rate = q.Campaign.correct_rate
+  && p.Campaign.fi_per_kcycle = q.Campaign.fi_per_kcycle
+  && (p.Campaign.mean_error = q.Campaign.mean_error
+     || (Float.is_nan p.Campaign.mean_error && Float.is_nan q.Campaign.mean_error))
+  && p.Campaign.any_fault_possible = q.Campaign.any_fault_possible
+
+let test_campaign_jobs_determinism () =
+  let bench = Lazy.force small_median in
+  let model = model_c 0.010 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun freq_mhz ->
+          let serial =
+            Campaign.run_point ~trials:10 ~seed ~jobs:1 ~bench ~model ~freq_mhz ()
+          in
+          let pooled =
+            Campaign.run_point ~trials:10 ~seed ~jobs:4 ~bench ~model ~freq_mhz ()
+          in
+          if not (point_equal serial pooled) then
+            Alcotest.failf "jobs=1 vs jobs=4 differ at seed %d, %.0f MHz" seed freq_mhz)
+        [ 900.; 980. ])
+    [ 1; 7; 42 ]
+
+let test_campaign_sweep_jobs_determinism () =
+  let bench = Lazy.force small_median in
+  let model = model_c 0.010 in
+  let freqs = [ 880.; 940.; 1000. ] in
+  let serial = Campaign.sweep ~trials:6 ~seed:5 ~jobs:1 ~bench ~model ~freqs_mhz:freqs () in
+  let pooled = Campaign.sweep ~trials:6 ~seed:5 ~jobs:4 ~bench ~model ~freqs_mhz:freqs () in
+  Alcotest.(check int) "same length" (List.length serial) (List.length pooled);
+  List.iter2
+    (fun p q ->
+      if not (point_equal p q) then
+        Alcotest.failf "sweep points differ at %.0f MHz" p.Campaign.freq_mhz)
+    serial pooled
+
 let test_campaign_sweep_shape () =
   let points =
     Campaign.sweep ~trials:8 ~bench:(Lazy.force small_median) ~model:(model_c 0.010)
@@ -325,6 +368,9 @@ let () =
           Alcotest.test_case "saturated faults" `Quick test_campaign_saturated_faults_break_everything;
           Alcotest.test_case "fast path below onset" `Quick test_campaign_below_onset_uses_fast_path;
           Alcotest.test_case "trial determinism" `Quick test_campaign_trial_determinism;
+          Alcotest.test_case "jobs determinism" `Quick test_campaign_jobs_determinism;
+          Alcotest.test_case "sweep jobs determinism" `Quick
+            test_campaign_sweep_jobs_determinism;
           Alcotest.test_case "PoFF detection" `Quick test_campaign_poff_detection;
           Alcotest.test_case "sweep shape" `Quick test_campaign_sweep_shape;
         ] );

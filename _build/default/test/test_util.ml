@@ -280,6 +280,59 @@ let test_op_class_index_dense () =
     Op_class.all;
   Alcotest.(check int) "count" (List.length Op_class.all) Op_class.count
 
+(* ---------- Pool ---------- *)
+
+let test_pool_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      let ys = Pool.map pool (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "squares in order" (Array.init 100 (fun i -> i * i)) ys)
+
+let test_pool_map_serial_matches_parallel () =
+  let xs = Array.init 50 (fun i -> i - 25) in
+  let f x = (x * 7919) lxor (x lsl 3) in
+  let serial = Pool.with_pool ~jobs:1 (fun p -> Pool.map p f xs) in
+  let parallel = Pool.with_pool ~jobs:4 (fun p -> Pool.map p f xs) in
+  Alcotest.(check (array int)) "jobs=1 = jobs=4" serial parallel
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "raises" (Failure "boom") (fun () ->
+          ignore (Pool.map pool (fun x -> if x = 13 then failwith "boom" else x)
+                    (Array.init 32 Fun.id)));
+      (* The pool must survive a failed batch and serve later ones. *)
+      let ys = Pool.map pool (fun x -> x + 1) (Array.init 8 Fun.id) in
+      Alcotest.(check (array int)) "pool reusable after exn"
+        (Array.init 8 (fun i -> i + 1)) ys)
+
+let test_pool_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for batch = 1 to 5 do
+        let ys = Pool.parallel_init pool (batch * 10) (fun i -> i * batch) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" batch)
+          (Array.init (batch * 10) (fun i -> i * batch))
+          ys
+      done)
+
+let test_pool_parallel_init_empty () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.parallel_init pool 0 Fun.id))
+
+let test_pool_map_list () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "list order" [ 2; 4; 6; 8 ]
+        (Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3; 4 ]))
+
+let test_pool_default_jobs_override () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 3;
+      Alcotest.(check int) "override wins" 3 (Pool.default_jobs ());
+      Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1))
+
 (* ---------- Property tests ---------- *)
 
 let prop_u32_mul_matches_int64 =
@@ -388,6 +441,17 @@ let () =
           Alcotest.test_case "arity" `Quick test_table_arity;
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_preserves_order;
+          Alcotest.test_case "serial matches parallel" `Quick
+            test_pool_map_serial_matches_parallel;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "reuse across batches" `Quick test_pool_reuse_across_batches;
+          Alcotest.test_case "parallel_init empty" `Quick test_pool_parallel_init_empty;
+          Alcotest.test_case "map_list" `Quick test_pool_map_list;
+          Alcotest.test_case "default jobs override" `Quick test_pool_default_jobs_override;
         ] );
       ( "op_class",
         [

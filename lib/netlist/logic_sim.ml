@@ -24,13 +24,7 @@ let set_input t net v =
 let set_input_vec t nets word =
   Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
 
-let eval t =
-  let values = t.values in
-  Array.iter
-    (fun (g : Circuit.gate) ->
-      let ins = Array.map (fun n -> values.(n)) g.Circuit.fan_in in
-      values.(g.Circuit.out) <- Cell.eval g.Circuit.kind ins)
-    t.circuit.Circuit.gates
+let eval t = Circuit.eval_all_gates t.circuit t.values
 
 let value t net = t.values.(net)
 
