@@ -17,8 +17,10 @@
    engine primitives (one [Test.make] per artifact).
 
    Every run ends by writing BENCH.json — per-experiment wall times, the
-   Bechamel estimates and the parallel-smoke speedup — so successive PRs
-   can track the performance trajectory mechanically. *)
+   Bechamel estimates, the serial engine throughput (DTA events/sec,
+   injector insns/sec, characterize vs campaign wall split) and the
+   parallel-smoke speedup — so successive PRs can track the performance
+   trajectory mechanically. *)
 
 open Sfi_util
 open Sfi_core
@@ -142,6 +144,70 @@ loop:   l.addi r2, r2, 3
   Table.print t;
   rows
 
+(* ---------- engine throughput: events/sec, insns/sec, phase split ---------- *)
+
+type perf = {
+  events_per_sec : float; (* DTA events evaluated per second, sized ALU *)
+  insns_per_sec : float; (* model-C injector hook calls per second *)
+  characterize_wall_s : float; (* one cold 0.7 V characterization *)
+  mutable campaign_wall_s : float; (* serial Monte-Carlo sweep (from smoke) *)
+}
+
+(* Serial hot-loop throughput, measured directly so BENCH.json pins the
+   event-kernel and injector fast-path speed for future PRs, independent
+   of experiment composition. *)
+let perf_metrics () =
+  let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 2000 } () in
+  let alu = Flow.alu flow in
+  (* Characterize phase: one cold per-class DB extraction at 0.7 V. *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Flow.char_db flow ~vdd:0.7);
+  let characterize_wall_s = Unix.gettimeofday () -. t0 in
+  (* DTA events/sec on the sized (post-variation) ALU. *)
+  let dta = Sfi_timing.Dta.create alu.Sfi_netlist.Alu.circuit in
+  let rng = Rng.of_int 1234 in
+  let drive_cycle () =
+    Sfi_timing.Dta.set_input_vec dta alu.Sfi_netlist.Alu.a (Rng.bits32 rng);
+    Sfi_timing.Dta.set_input_vec dta alu.Sfi_netlist.Alu.b (Rng.bits32 rng);
+    Sfi_timing.Dta.cycle dta
+  in
+  for _ = 1 to 200 do drive_cycle () done;
+  let e0 = Sfi_timing.Dta.events_processed dta in
+  let t0 = Unix.gettimeofday () in
+  let cycles = 20_000 in
+  for _ = 1 to cycles do drive_cycle () done;
+  let dta_wall = Unix.gettimeofday () -. t0 in
+  let events = Sfi_timing.Dta.events_processed dta - e0 in
+  let events_per_sec = float_of_int events /. Float.max 1e-9 dta_wall in
+  (* Injector hook calls/sec: model C in the transition region, where the
+     per-call noise draw and threshold math actually run. *)
+  let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
+  let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
+  let injector =
+    Sfi_fi.Injector.create ~model ~freq_mhz:(fsta *. 1.15) ~rng
+  in
+  let hook = Sfi_fi.Injector.hook injector in
+  let call i cls =
+    let a = Rng.bits32 rng and b = Rng.bits32 rng in
+    ignore (hook ~cycle:i ~cls ~a ~b ~result:(U32.add a b) : int)
+  in
+  for i = 1 to 10_000 do
+    call i (if i land 1 = 0 then Op_class.Add else Op_class.Mul)
+  done;
+  let insns = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to insns do
+    call i (if i land 1 = 0 then Op_class.Add else Op_class.Mul)
+  done;
+  let inj_wall = Unix.gettimeofday () -. t0 in
+  let insns_per_sec = float_of_int insns /. Float.max 1e-9 inj_wall in
+  Printf.printf
+    "engine throughput: DTA %.2f Mevents/s (%d events / %.2f s), injector %.2f \
+     Minsns/s, characterize %.2f s\n%!"
+    (events_per_sec /. 1e6) events dta_wall (insns_per_sec /. 1e6)
+    characterize_wall_s;
+  { events_per_sec; insns_per_sec; characterize_wall_s; campaign_wall_s = nan }
+
 (* ---------- parallel smoke: serial vs pooled sweep ---------- *)
 
 type smoke = {
@@ -216,11 +282,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke =
+let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/1\",\n";
+  add "  \"schema\": \"sfi-bench/2\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -239,6 +305,13 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke =
         (json_escape name) ns)
     bechamel;
   add "%s],\n" (if bechamel = [] then "" else "\n  ");
+  (match perf with
+  | None -> add "  \"perf\": null,\n"
+  | Some p ->
+    add
+      "  \"perf\": {\"events_per_sec\": %.0f, \"insns_per_sec\": %.0f, \
+       \"characterize_wall_s\": %.3f, \"campaign_wall_s\": %.3f},\n"
+      p.events_per_sec p.insns_per_sec p.characterize_wall_s p.campaign_wall_s);
   (match smoke with
   | None -> add "  \"parallel_smoke\": null\n"
   | Some s ->
@@ -291,7 +364,7 @@ let () =
   if smoke_only then begin
     let smoke = parallel_smoke () in
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
-      ~smoke:(Some smoke)
+      ~smoke:(Some smoke) ~perf:None
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
@@ -305,11 +378,13 @@ let () =
         Experiments.run ctx ids
       end
     in
-    let bech_rows =
-      if bechamel_only || ((not skip_bechamel) && ids = []) then bechamel_suite () else []
-    in
+    let bech_rows = if not skip_bechamel then bechamel_suite () else [] in
+    let perf = if bechamel_only then None else Some (perf_metrics ()) in
     let smoke = parallel_smoke () in
+    (match perf with
+    | Some p -> p.campaign_wall_s <- smoke.serial_wall_s
+    | None -> ());
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
-      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke)
+      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf
   end

@@ -23,19 +23,32 @@ type point = {
 
 (* Fault-free cycle counts, cached per benchmark so watchdog budgets do
    not require a reference run per trial. Trials of one point run on
-   several domains, so the cache is mutex-guarded; holding the lock while
-   computing gives compute-once semantics (concurrent callers for the
-   same benchmark block until the first one has filled the entry). *)
+   several domains, so the cache is mutex-guarded — but with a
+   per-benchmark once-cell, not one global lock held across the whole
+   fault-free run: the short table lock only allocates the benchmark's
+   cell, and the reference run itself is computed under that benchmark's
+   own lock, so concurrent first uses of *distinct* benchmarks proceed in
+   parallel while concurrent callers for the *same* benchmark still block
+   until the first one has filled the cell. *)
 let reference_cycles =
-  let cache : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let lock = Mutex.create () in
+  let cells : (string, Mutex.t * int option ref) Hashtbl.t = Hashtbl.create 8 in
+  let table_lock = Mutex.create () in
   fun (bench : Bench.t) ->
+    let lock, cell =
+      Mutex.protect table_lock (fun () ->
+          match Hashtbl.find_opt cells bench.Bench.name with
+          | Some c -> c
+          | None ->
+            let c = (Mutex.create (), ref None) in
+            Hashtbl.replace cells bench.Bench.name c;
+            c)
+    in
     Mutex.protect lock (fun () ->
-        match Hashtbl.find_opt cache bench.Bench.name with
-        | Some c -> c
+        match !cell with
+        | Some cycles -> cycles
         | None ->
           let stats, _ = Bench.run_fault_free bench in
-          Hashtbl.replace cache bench.Bench.name stats.Cpu.cycles;
+          cell := Some stats.Cpu.cycles;
           stats.Cpu.cycles)
 
 let run_trial_with ~bench ~model ~freq_mhz ~rng =

@@ -26,8 +26,42 @@ let worst_scale ~vdd_model ~vdd ~ref_vdd ~noise =
   Vdd_model.derate vdd_model (vdd -. Noise.max_excursion noise)
   /. Vdd_model.derate vdd_model ref_vdd
 
-let scale_of_noise ~vdd_model ~vdd ~ref_vdd noise_v =
-  Vdd_model.derate vdd_model (vdd +. noise_v) /. Vdd_model.derate vdd_model ref_vdd
+(* Safety margin (ps) for the precomputed conservative thresholds below.
+   The alpha-power derate is monotone in exact arithmetic but only
+   ulp-level monotone through [**]; anything within [slack_ps] of a
+   precomputed bound falls through to the exact computation, so the fast
+   paths can only skip work that provably produces an empty mask. *)
+let slack_ps = 1e-6
+
+(* Quantized noise-excursion -> fault-threshold table. Bucket [i] stores
+   the threshold (period /. scale, in characterization-time picoseconds)
+   evaluated at the bucket's lower edge; since delay scale decreases — and
+   the threshold therefore increases — with rising instantaneous supply,
+   that entry is a lower bound on the exact threshold for every noise
+   value in the bucket. A path set whose worst arrival sits below the
+   bound (minus {!slack_ps}) cannot fault, and the per-call [**]
+   evaluations are skipped; otherwise the exact threshold is computed as
+   before, so injected masks are bit-identical to the direct
+   implementation. *)
+type noise_table = { lo : float; inv_step : float; thr : float array }
+
+let noise_buckets = 256
+
+let make_noise_table ~vdd_model ~vdd ~denom ~period ~max_exc ~offset =
+  let step = 2. *. max_exc /. float_of_int noise_buckets in
+  let thr =
+    Array.init (noise_buckets + 1) (fun i ->
+        let nv = -.max_exc +. (step *. float_of_int i) in
+        let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
+        (period /. scale) -. offset)
+  in
+  { lo = -.max_exc; inv_step = 1. /. step; thr }
+
+(* Conservative threshold lower bound for noise value [nv]. *)
+let table_threshold tbl nv =
+  let i = int_of_float ((nv -. tbl.lo) *. tbl.inv_step) in
+  let i = if i < 0 then 0 else if i > noise_buckets then noise_buckets else i in
+  tbl.thr.(i) -. slack_ps
 
 let create ~model ~freq_mhz ~rng =
   let period = Sta.period_ps_of_mhz freq_mhz in
@@ -59,15 +93,50 @@ let create ~model ~freq_mhz ~rng =
     let cannot =
       max_arrival *. worst_scale ~vdd_model ~vdd ~ref_vdd:vdd ~noise <= period
     in
+    (* Endpoints sorted by decreasing arrival with cumulative-OR prefix
+       masks: the mask at a threshold is the prefix covering exactly the
+       arrivals strictly above it, found by binary search instead of a
+       32-endpoint scan. *)
+    let order =
+      let o = Array.init (Array.length with_setup) Fun.id in
+      Array.sort (fun i j -> compare with_setup.(j) with_setup.(i)) o;
+      o
+    in
+    let sorted_arrivals = Array.map (fun e -> with_setup.(e)) order in
+    let prefix_masks =
+      let n = Array.length order in
+      let pm = Array.make (n + 1) 0 in
+      for k = 0 to n - 1 do
+        pm.(k + 1) <- pm.(k) lor (1 lsl order.(k))
+      done;
+      pm
+    in
     let mask_at threshold =
       (* threshold = period / scale; endpoint faults iff arrival+setup
-         exceeds it *)
-      let mask = ref 0 in
-      Array.iteri (fun e a -> if a > threshold then mask := !mask lor (1 lsl e)) with_setup;
-      !mask
+         exceeds it. Find how many sorted arrivals are > threshold. *)
+      let n = Array.length sorted_arrivals in
+      if n = 0 || sorted_arrivals.(0) <= threshold then 0
+      else begin
+        (* Invariant: arrivals.(lo) > threshold >= arrivals.(hi). *)
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if mid < n && sorted_arrivals.(mid) > threshold then lo := mid
+          else hi := mid
+        done;
+        prefix_masks.(!hi)
+      end
     in
     let static_mask = mask_at period in
     let has_noise = Noise.sigma noise > 0. in
+    let denom = Vdd_model.derate vdd_model vdd in
+    let tbl =
+      if (not has_noise) || cannot then None
+      else
+        Some
+          (make_noise_table ~vdd_model ~vdd ~denom ~period
+             ~max_exc:(Noise.max_excursion noise) ~offset:0.)
+    in
     let rec t =
       {
         hook =
@@ -76,8 +145,14 @@ let create ~model ~freq_mhz ~rng =
             else if not has_noise then record t cls static_mask
             else begin
               let nv = Noise.draw noise rng in
-              let scale = scale_of_noise ~vdd_model ~vdd ~ref_vdd:vdd nv in
-              record t cls (mask_at (period /. scale))
+              match tbl with
+              | Some tbl when max_arrival <= table_threshold tbl nv ->
+                (* Even the bucket's most pessimistic threshold clears the
+                   slowest endpoint: the mask is provably 0. *)
+                0
+              | _ ->
+                let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
+                record t cls (mask_at (period /. scale))
             end);
         bits = 0;
         events = 0;
@@ -89,16 +164,40 @@ let create ~model ~freq_mhz ~rng =
   | Model.Statistical { db; vdd; noise; vdd_model; sampling } ->
     let ref_vdd = db.Characterize.vdd in
     let setup = db.Characterize.setup_ps in
-    let cannot =
-      let ws = worst_scale ~vdd_model ~vdd ~ref_vdd ~noise in
-      (db.Characterize.max_settle +. setup) *. ws <= period
+    let denom = Vdd_model.derate vdd_model ref_vdd in
+    let ws = Vdd_model.derate vdd_model (vdd -. Noise.max_excursion noise) /. denom in
+    let cannot = (db.Characterize.max_settle +. setup) *. ws <= period in
+    let classes = db.Characterize.classes in
+    (* Per class: even the worst-case noise excursion leaves the class's
+       slowest characterized path inside the period, so its instructions
+       can never fault and the per-call scale/threshold math is skipped.
+       (Same algebra as the per-call check at the worst-case threshold,
+       with a slack so [**] rounding cannot flip the verdict.) *)
+    let class_cannot =
+      Array.map
+        (fun (c : Characterize.class_db) ->
+          c.Characterize.max_settle <= (period /. ws) -. setup -. slack_ps)
+        classes
     in
     (* Per class: per-endpoint maximum settle, for cheap skipping. *)
     let class_caps =
       Array.map
         (fun (c : Characterize.class_db) ->
           Array.map Cdf.max_value c.Characterize.endpoint_cdfs)
-        db.Characterize.classes
+        classes
+    in
+    let has_noise = Noise.sigma noise > 0. in
+    (* With sigma = 0 every draw is exactly 0, so the threshold is a
+       constant; precompute it once. *)
+    let static_threshold =
+      (period /. (Vdd_model.derate vdd_model (vdd +. 0.) /. denom)) -. setup
+    in
+    let tbl =
+      if (not has_noise) || cannot then None
+      else
+        Some
+          (make_noise_table ~vdd_model ~vdd ~denom ~period
+             ~max_exc:(Noise.max_excursion noise) ~offset:setup)
     in
     let rec t =
       {
@@ -106,34 +205,55 @@ let create ~model ~freq_mhz ~rng =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
             if cannot then 0
             else begin
-              let nv = Noise.draw noise rng in
-              let scale = scale_of_noise ~vdd_model ~vdd ~ref_vdd nv in
-              let threshold = (period /. scale) -. setup in
               let ci = Op_class.index cls in
-              let cdb = db.Characterize.classes.(ci) in
-              if cdb.Characterize.max_settle <= threshold then 0
+              if Array.unsafe_get class_cannot ci then begin
+                (* A sigma = 0 draw consumes no randomness and a positive
+                   sigma draw is consumed here, so skipping the rest of the
+                   hook leaves the RNG stream identical. *)
+                if has_noise then ignore (Noise.draw noise rng : float);
+                0
+              end
               else begin
-                match sampling with
-                | Model.Vector_correlated ->
-                  let k = Rng.int rng db.Characterize.cycles in
-                  let row = cdb.Characterize.cycle_arrivals.(k) in
-                  let mask = ref 0 in
-                  Array.iteri
-                    (fun e s -> if s > threshold then mask := !mask lor (1 lsl e))
-                    row;
-                  record t cls !mask
-                | Model.Independent ->
-                  let caps = class_caps.(ci) in
-                  let mask = ref 0 in
-                  for e = 0 to Array.length caps - 1 do
-                    if caps.(e) > threshold then begin
-                      let p =
-                        Cdf.prob_greater cdb.Characterize.endpoint_cdfs.(e) threshold
-                      in
-                      if Rng.bernoulli rng p then mask := !mask lor (1 lsl e)
-                    end
-                  done;
-                  record t cls !mask
+                let nv = if has_noise then Noise.draw noise rng else 0. in
+                let cdb = classes.(ci) in
+                let skip =
+                  match tbl with
+                  | Some tbl -> cdb.Characterize.max_settle <= table_threshold tbl nv
+                  | None -> false
+                in
+                if skip then 0
+                else begin
+                  let threshold =
+                    if has_noise then
+                      let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
+                      (period /. scale) -. setup
+                    else static_threshold
+                  in
+                  if cdb.Characterize.max_settle <= threshold then 0
+                  else begin
+                    match sampling with
+                    | Model.Vector_correlated ->
+                      let k = Rng.int rng db.Characterize.cycles in
+                      let row = cdb.Characterize.cycle_arrivals.(k) in
+                      let mask = ref 0 in
+                      Array.iteri
+                        (fun e s -> if s > threshold then mask := !mask lor (1 lsl e))
+                        row;
+                      record t cls !mask
+                    | Model.Independent ->
+                      let caps = class_caps.(ci) in
+                      let mask = ref 0 in
+                      for e = 0 to Array.length caps - 1 do
+                        if caps.(e) > threshold then begin
+                          let p =
+                            Cdf.prob_greater cdb.Characterize.endpoint_cdfs.(e) threshold
+                          in
+                          if Rng.bernoulli rng p then mask := !mask lor (1 lsl e)
+                        end
+                      done;
+                      record t cls !mask
+                  end
+                end
               end
             end);
         bits = 0;

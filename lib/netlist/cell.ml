@@ -13,6 +13,21 @@ type kind =
 
 let all = [ Inv; Buf; Nand2; Nor2; And2; Or2; Xor2; Xnor2; Mux2; Aoi21; Oai21 ]
 
+let code = function
+  | Inv -> 0
+  | Buf -> 1
+  | Nand2 -> 2
+  | Nor2 -> 3
+  | And2 -> 4
+  | Or2 -> 5
+  | Xor2 -> 6
+  | Xnor2 -> 7
+  | Mux2 -> 8
+  | Aoi21 -> 9
+  | Oai21 -> 10
+
+let code_count = 11
+
 let arity = function
   | Inv | Buf -> 1
   | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2

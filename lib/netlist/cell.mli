@@ -20,6 +20,14 @@ type kind =
 
 val all : kind list
 
+val code : kind -> int
+(** Dense integer code of the kind (its position in {!all}); used by the
+    flat structure-of-arrays circuit representation so hot evaluation
+    loops can dispatch on an int instead of chasing a variant. *)
+
+val code_count : int
+(** Number of distinct kinds ([List.length all]). *)
+
 val arity : kind -> int
 (** Number of input pins. *)
 

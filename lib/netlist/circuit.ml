@@ -107,8 +107,18 @@ type t = {
   const_false : net option;
   const_true : net option;
   driver : int array;
-  readers : int array array;
   tags : string array;
+  (* Structure-of-arrays mirror of [gates], built once in [freeze]: flat
+     int arrays with CSR-packed fan-in and reader adjacency. The hot
+     evaluation loops (logic sim, DTA drain) walk these for cache locality
+     and to avoid chasing the per-gate record/array pointers; the [gates]
+     records remain the API for everything that is not hot. *)
+  kind_code : int array;
+  gate_out : int array;
+  fanin_off : int array;
+  fanin_net : int array;
+  reader_off : int array;
+  reader_gate : int array;
 }
 
 let freeze (b : Builder.t) ~lib =
@@ -133,21 +143,40 @@ let freeze (b : Builder.t) ~lib =
       if not ok then
         invalid_arg (Printf.sprintf "Circuit.freeze: net %d has no driver" net))
     driven;
+  let n_gates = Array.length gates in
   let reader_counts = Array.make n_nets 0 in
   Array.iter
     (fun g ->
       Array.iter (fun n -> reader_counts.(n) <- reader_counts.(n) + 1) g.fan_in)
     gates;
-  let readers = Array.map (fun c -> Array.make c (-1)) (Array.map (fun c -> c) reader_counts) in
-  let fill = Array.make n_nets 0 in
+  (* CSR reader adjacency: reader_off.(n) .. reader_off.(n+1) - 1 index the
+     gates reading net n, in gate (= topological) order. *)
+  let reader_off = Array.make (n_nets + 1) 0 in
+  for n = 0 to n_nets - 1 do
+    reader_off.(n + 1) <- reader_off.(n) + reader_counts.(n)
+  done;
+  let reader_gate = Array.make reader_off.(n_nets) (-1) in
+  let fill = Array.copy reader_off in
   Array.iteri
     (fun i g ->
       Array.iter
         (fun n ->
-          readers.(n).(fill.(n)) <- i;
+          reader_gate.(fill.(n)) <- i;
           fill.(n) <- fill.(n) + 1)
         g.fan_in)
     gates;
+  (* CSR fan-in plus flat per-gate kind/output arrays. *)
+  let fanin_off = Array.make (n_gates + 1) 0 in
+  Array.iteri
+    (fun i g -> fanin_off.(i + 1) <- fanin_off.(i) + Array.length g.fan_in)
+    gates;
+  let fanin_net = Array.make fanin_off.(n_gates) (-1) in
+  Array.iteri
+    (fun i g ->
+      Array.iteri (fun j n -> fanin_net.(fanin_off.(i) + j) <- n) g.fan_in)
+    gates;
+  let kind_code = Array.map (fun g -> Cell.code g.kind) gates in
+  let gate_out = Array.map (fun g -> g.out) gates in
   let pos = Array.of_list (List.rev b.Builder.pos_rev) in
   let po_loads = Array.make n_nets 0 in
   Array.iter (fun (_, n) -> po_loads.(n) <- po_loads.(n) + 1) pos;
@@ -170,8 +199,13 @@ let freeze (b : Builder.t) ~lib =
     const_false = b.Builder.cfalse;
     const_true = b.Builder.ctrue;
     driver;
-    readers;
     tags;
+    kind_code;
+    gate_out;
+    fanin_off;
+    fanin_net;
+    reader_off;
+    reader_gate;
   }
 
 let tag_id t name =
@@ -192,27 +226,56 @@ let scale_gate_delays t f =
 
 (* Direct-indexing gate evaluation shared by the zero-delay simulator and
    the event-driven DTA; unlike [Cell.eval] it reads net values in place
-   and allocates nothing. *)
+   and allocates nothing. Dispatches on the flat SoA arrays — the int
+   kind code and CSR fan-in — so one event touches three flat arrays
+   instead of a gate record, a kind variant, and a fan-in array. The
+   branches are written out longhand (no local helper closure) to keep
+   the path allocation-free without relying on flambda. *)
 let eval_gate t values gi =
-  let g = t.gates.(gi) in
-  let ins = g.fan_in in
-  match g.kind with
-  | Cell.Inv -> not values.(ins.(0))
-  | Cell.Buf -> values.(ins.(0))
-  | Cell.Nand2 -> not (values.(ins.(0)) && values.(ins.(1)))
-  | Cell.Nor2 -> not (values.(ins.(0)) || values.(ins.(1)))
-  | Cell.And2 -> values.(ins.(0)) && values.(ins.(1))
-  | Cell.Or2 -> values.(ins.(0)) || values.(ins.(1))
-  | Cell.Xor2 -> values.(ins.(0)) <> values.(ins.(1))
-  | Cell.Xnor2 -> values.(ins.(0)) = values.(ins.(1))
-  | Cell.Mux2 -> if values.(ins.(0)) then values.(ins.(2)) else values.(ins.(1))
-  | Cell.Aoi21 -> not ((values.(ins.(0)) && values.(ins.(1))) || values.(ins.(2)))
-  | Cell.Oai21 -> not ((values.(ins.(0)) || values.(ins.(1))) && values.(ins.(2)))
+  let o = Array.unsafe_get t.fanin_off gi in
+  let ins = t.fanin_net in
+  match Array.unsafe_get t.kind_code gi with
+  | 0 (* Inv *) -> not (Array.unsafe_get values (Array.unsafe_get ins o))
+  | 1 (* Buf *) -> Array.unsafe_get values (Array.unsafe_get ins o)
+  | 2 (* Nand2 *) ->
+    not
+      (Array.unsafe_get values (Array.unsafe_get ins o)
+      && Array.unsafe_get values (Array.unsafe_get ins (o + 1)))
+  | 3 (* Nor2 *) ->
+    not
+      (Array.unsafe_get values (Array.unsafe_get ins o)
+      || Array.unsafe_get values (Array.unsafe_get ins (o + 1)))
+  | 4 (* And2 *) ->
+    Array.unsafe_get values (Array.unsafe_get ins o)
+    && Array.unsafe_get values (Array.unsafe_get ins (o + 1))
+  | 5 (* Or2 *) ->
+    Array.unsafe_get values (Array.unsafe_get ins o)
+    || Array.unsafe_get values (Array.unsafe_get ins (o + 1))
+  | 6 (* Xor2 *) ->
+    Array.unsafe_get values (Array.unsafe_get ins o)
+    <> Array.unsafe_get values (Array.unsafe_get ins (o + 1))
+  | 7 (* Xnor2 *) ->
+    Array.unsafe_get values (Array.unsafe_get ins o)
+    = Array.unsafe_get values (Array.unsafe_get ins (o + 1))
+  | 8 (* Mux2 *) ->
+    if Array.unsafe_get values (Array.unsafe_get ins o) then
+      Array.unsafe_get values (Array.unsafe_get ins (o + 2))
+    else Array.unsafe_get values (Array.unsafe_get ins (o + 1))
+  | 9 (* Aoi21 *) ->
+    not
+      ((Array.unsafe_get values (Array.unsafe_get ins o)
+       && Array.unsafe_get values (Array.unsafe_get ins (o + 1)))
+      || Array.unsafe_get values (Array.unsafe_get ins (o + 2)))
+  | _ (* Oai21 *) ->
+    not
+      ((Array.unsafe_get values (Array.unsafe_get ins o)
+       || Array.unsafe_get values (Array.unsafe_get ins (o + 1)))
+      && Array.unsafe_get values (Array.unsafe_get ins (o + 2)))
 
 let eval_all_gates t values =
-  let gates = t.gates in
-  for gi = 0 to Array.length gates - 1 do
-    values.(gates.(gi).out) <- eval_gate t values gi
+  let out = t.gate_out in
+  for gi = 0 to Array.length out - 1 do
+    Array.unsafe_set values (Array.unsafe_get out gi) (eval_gate t values gi)
   done
 
 let gate_count t = Array.length t.gates

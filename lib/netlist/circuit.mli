@@ -62,9 +62,23 @@ type t = {
   const_false : net option;
   const_true : net option;
   driver : int array;              (** net -> driving gate index, or -1 *)
-  readers : int array array;       (** net -> reading gate indices *)
   tags : string array;             (** tag id -> tag name *)
+  kind_code : int array;           (** per gate, {!Cell.code} of its kind *)
+  gate_out : int array;            (** per gate, its output net *)
+  fanin_off : int array;           (** CSR offsets into [fanin_net],
+                                       length [gate_count + 1] *)
+  fanin_net : int array;           (** concatenated fan-in nets *)
+  reader_off : int array;          (** CSR offsets into [reader_gate],
+                                       length [n_nets + 1] *)
+  reader_gate : int array;         (** concatenated reading gate indices:
+                                       net [n]'s readers are entries
+                                       [reader_off.(n)] to
+                                       [reader_off.(n+1) - 1], in
+                                       topological gate order *)
 }
+(** The [kind_code ... reader_gate] fields are a flat structure-of-arrays
+    mirror of [gates] built by {!freeze}; hot evaluation loops use them
+    for cache locality, everything else uses the [gates] records. *)
 
 val freeze : Builder.t -> lib:Cell_lib.t -> t
 (** Freezes the builder and annotates every gate with its nominal delay

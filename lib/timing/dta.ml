@@ -1,13 +1,34 @@
 open Sfi_util
 open Sfi_netlist
 
+(* Hot-path representation notes.
+
+   Event times live in a scaled domain: every gate delay is multiplied by
+   the exact power of two 2^-32 once at [create], and all event-time sums
+   are computed on the scaled values. Because scaling by a power of two
+   only shifts the exponent, scaled sums round exactly like the unscaled
+   sums would, so settle times (descaled on read) are bit-identical to
+   computing in plain picoseconds. Scaled times are < 2.0 for any
+   realistic circuit (up to 2^33 ps), so their IEEE-754 bit patterns fit
+   OCaml's 63-bit int and order like the floats themselves — that int is
+   the heap key, making the whole push/pop/drain loop allocation-free.
+
+   Per-cycle state (settle times, scheduled-event stamps) is invalidated
+   with generation counters instead of O(n_nets) clears, so cycle cost
+   tracks the event count, not the circuit size. *)
+
 type t = {
   circuit : Circuit.t;
-  delay : float array; (* per gate, ps at the chosen voltage *)
+  delay : float array; (* per gate, ps at the chosen voltage, × 2^-32 *)
   values : bool array; (* per net *)
-  settle : float array; (* per net, last transition in current cycle *)
+  settle : float array; (* per net, scaled; valid iff settle_gen matches *)
+  settle_gen : int array; (* per net, generation of last settle write *)
+  sched_key : int array; (* per gate, key of last scheduled evaluation *)
+  sched_gen : int array; (* per gate, generation of that key *)
+  mutable gen : int; (* current cycle generation *)
   heap : Min_heap.t;
-  staged : (Circuit.net * bool) Queue.t;
+  mutable staged : int array; (* packed (net lsl 1) lor bit *)
+  mutable staged_n : int;
   mutable events : int;
   is_input : bool array;
 }
@@ -20,7 +41,8 @@ let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
   in
   let delay =
     Array.mapi
-      (fun i (g : Circuit.gate) -> c.Circuit.base_delay.(i) *. kind_factor g.Circuit.kind)
+      (fun i (g : Circuit.gate) ->
+        c.Circuit.base_delay.(i) *. kind_factor g.Circuit.kind *. 0x1p-32)
       c.Circuit.gates
   in
   let values = Array.make c.Circuit.n_nets false in
@@ -35,8 +57,13 @@ let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
     delay;
     values;
     settle = Array.make c.Circuit.n_nets 0.;
+    settle_gen = Array.make c.Circuit.n_nets 0;
+    sched_key = Array.make (Array.length c.Circuit.gates) 0;
+    sched_gen = Array.make (Array.length c.Circuit.gates) 0;
+    gen = 0;
     heap = Min_heap.create ~capacity:1024 ();
-    staged = Queue.create ();
+    staged = Array.make 64 0;
+    staged_n = 0;
     events = 0;
     is_input;
   }
@@ -44,51 +71,92 @@ let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
 let set_input t net v =
   if net < 0 || net >= Array.length t.values || not t.is_input.(net) then
     invalid_arg "Dta.set_input: not a primary input";
-  Queue.add (net, v) t.staged
+  if t.staged_n = Array.length t.staged then begin
+    let ns = Array.make (2 * Array.length t.staged) 0 in
+    Array.blit t.staged 0 ns 0 t.staged_n;
+    t.staged <- ns
+  end;
+  t.staged.(t.staged_n) <- (net lsl 1) lor (if v then 1 else 0);
+  t.staged_n <- t.staged_n + 1
 
 let set_input_vec t nets word =
-  Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
+  for i = 0 to Array.length nets - 1 do
+    set_input t nets.(i) ((word lsr i) land 1 = 1)
+  done
 
-(* Evaluate gate [gi] against current net values (shared with the
-   zero-delay simulator). *)
-let eval_gate t gi = Circuit.eval_gate t.circuit t.values gi
+(* Schedule an evaluation of every reader of [net] at (trigger time +
+   reader delay), where [time_key] is the trigger time's heap key. A
+   per-gate (generation, key) stamp coalesces duplicate same-time
+   evaluations: a gate whose k inputs toggle at the same instant is
+   evaluated once, not k times. Per gate the scheduled keys are
+   nondecreasing over a cycle (trigger times pop in order and the delay is
+   constant), so comparing against the last stamp catches every
+   duplicate. *)
+let schedule_readers t net time_key =
+  let c = t.circuit in
+  let off = c.Circuit.reader_off in
+  let rg = c.Circuit.reader_gate in
+  let time = Int64.float_of_bits (Int64.of_int time_key) in
+  let hi = Array.unsafe_get off (net + 1) in
+  for j = Array.unsafe_get off net to hi - 1 do
+    let gi = Array.unsafe_get rg j in
+    let key =
+      Int64.to_int (Int64.bits_of_float (time +. Array.unsafe_get t.delay gi))
+    in
+    if
+      not
+        (Array.unsafe_get t.sched_gen gi = t.gen
+        && Array.unsafe_get t.sched_key gi = key)
+    then begin
+      Array.unsafe_set t.sched_gen gi t.gen;
+      Array.unsafe_set t.sched_key gi key;
+      Min_heap.push_key t.heap key gi
+    end
+  done
+
+let rec drain t =
+  let gi = Min_heap.pop_unsafe t.heap in
+  if gi >= 0 then begin
+    t.events <- t.events + 1;
+    let key = Min_heap.popped_key t.heap in
+    let out_net = Array.unsafe_get t.circuit.Circuit.gate_out gi in
+    let v = Circuit.eval_gate t.circuit t.values gi in
+    if Array.unsafe_get t.values out_net <> v then begin
+      Array.unsafe_set t.values out_net v;
+      Array.unsafe_set t.settle out_net
+        (Int64.float_of_bits (Int64.of_int key));
+      Array.unsafe_set t.settle_gen out_net t.gen;
+      schedule_readers t out_net key
+    end;
+    drain t
+  end
 
 let cycle t =
-  Array.fill t.settle 0 (Array.length t.settle) 0.;
-  let readers = t.circuit.Circuit.readers in
-  (* Launch staged input transitions at t = 0. *)
-  Queue.iter
-    (fun (net, v) ->
-      if t.values.(net) <> v then begin
-        t.values.(net) <- v;
-        Array.iter (fun gi -> Min_heap.push t.heap t.delay.(gi) gi) readers.(net)
-      end)
-    t.staged;
-  Queue.clear t.staged;
-  let rec drain () =
-    match Min_heap.pop t.heap with
-    | None -> ()
-    | Some (time, gi) ->
-      t.events <- t.events + 1;
-      let out_net = t.circuit.Circuit.gates.(gi).Circuit.out in
-      let v = eval_gate t gi in
-      if t.values.(out_net) <> v then begin
-        t.values.(out_net) <- v;
-        t.settle.(out_net) <- time;
-        Array.iter (fun ri -> Min_heap.push t.heap (time +. t.delay.(ri)) ri) readers.(out_net)
-      end;
-      drain ()
-  in
-  drain ()
+  t.gen <- t.gen + 1;
+  (* Launch staged input transitions at t = 0 (heap key 0 = bits of 0.0). *)
+  for i = 0 to t.staged_n - 1 do
+    let s = Array.unsafe_get t.staged i in
+    let net = s lsr 1 in
+    let v = s land 1 = 1 in
+    if Array.unsafe_get t.values net <> v then begin
+      Array.unsafe_set t.values net v;
+      schedule_readers t net 0
+    end
+  done;
+  t.staged_n <- 0;
+  drain t
 
 let value t net = t.values.(net)
 
 let read_vec t nets =
   let acc = ref 0 in
-  Array.iteri (fun i n -> if t.values.(n) then acc := !acc lor (1 lsl i)) nets;
+  for i = 0 to Array.length nets - 1 do
+    if t.values.(nets.(i)) then acc := !acc lor (1 lsl i)
+  done;
   !acc
 
-let settle_time t net = t.settle.(net)
+let settle_time t net =
+  if t.settle_gen.(net) = t.gen then t.settle.(net) *. 0x1p32 else 0.
 
 let events_processed t = t.events
 

@@ -10,7 +10,15 @@
     The simulator uses the standard event-driven algorithm with
     evaluate-at-pop semantics, which gives inertial-delay behaviour:
     pulses shorter than a gate's delay are filtered. This keeps settle
-    times physical and the event count bounded. *)
+    times physical and the event count bounded.
+
+    The event kernel is allocation-free in steady state: event times are
+    held as order-preserving integer encodings of their float values (see
+    {!Sfi_util.Min_heap}), per-cycle state is invalidated with generation
+    stamps rather than O(n_nets) clears, and same-time evaluations of a
+    gate whose several inputs toggle together are coalesced into one
+    event. Settle times are bit-identical to the straightforward
+    float-keyed implementation. *)
 
 open Sfi_netlist
 
@@ -42,7 +50,8 @@ val settle_time : t -> Circuit.net -> float
     {!cycle}; [0.] if it did not toggle. *)
 
 val events_processed : t -> int
-(** Total events popped since creation (performance diagnostics). *)
+(** Total events evaluated since creation (performance diagnostics).
+    Same-time evaluations of one gate are coalesced and count once. *)
 
 val check_against : t -> Logic_sim.t -> Circuit.net array -> bool
 (** Debug helper: [true] when the DTA net values of the given nets agree

@@ -1,70 +1,118 @@
+(* Binary min-heap over int keys and int payloads.
+
+   The int keys are order-preserving encodings of non-negative floats
+   (IEEE-754 bit patterns of non-negative doubles compare like the doubles
+   themselves), so the comparison outcomes — and therefore the heap layout
+   and pop order, ties included — are identical to the former float-keyed
+   implementation.  Keeping keys and payloads in two parallel int arrays
+   makes push/pop allocation-free.
+
+   The sift loops live inline in [push_key]/[pop_unsafe] as while loops
+   over local refs (which ocamlopt compiles to register mutables): hoisting
+   them into recursive helper functions costs 2x+ on this non-flambda
+   toolchain, because the per-level helper/swap calls stop the array base
+   pointers from staying in registers across levels. *)
+
 type t = {
-  mutable keys : float array;
+  mutable keys : int array;
   mutable payloads : int array;
   mutable size : int;
 }
 
+let no_event = -1
+
+(* The 2^-32 pre-scale is exact (power of two) and keeps any time below
+   2^33 ps under 2.0, whose bit pattern fits OCaml's 63-bit int.  Scaling
+   is undone on decode, so round-tripping is the identity and the encoding
+   is strictly monotone on [0, 2^33). *)
+let key_of_float f = Int64.to_int (Int64.bits_of_float (f *. 0x1p-32))
+let float_of_key k = Int64.float_of_bits (Int64.of_int k) *. 0x1p32
+
 let create ?(capacity = 64) () =
   let capacity = max 1 capacity in
-  { keys = Array.make capacity 0.; payloads = Array.make capacity 0; size = 0 }
+  { keys = Array.make capacity 0; payloads = Array.make capacity 0; size = 0 }
 
 let grow t =
   let n = Array.length t.keys in
-  let keys = Array.make (2 * n) 0. and payloads = Array.make (2 * n) 0 in
+  let keys = Array.make (2 * n) 0 and payloads = Array.make (2 * n) 0 in
   Array.blit t.keys 0 keys 0 n;
   Array.blit t.payloads 0 payloads 0 n;
   t.keys <- keys;
   t.payloads <- payloads
 
-let swap t i j =
-  let k = t.keys.(i) and p = t.payloads.(i) in
-  t.keys.(i) <- t.keys.(j);
-  t.payloads.(i) <- t.payloads.(j);
-  t.keys.(j) <- k;
-  t.payloads.(j) <- p
-
-let push t key payload =
+let push_key t key payload =
   if t.size = Array.length t.keys then grow t;
-  t.keys.(t.size) <- key;
-  t.payloads.(t.size) <- payload;
+  let keys = t.keys and payloads = t.payloads in
+  keys.(t.size) <- key;
+  payloads.(t.size) <- payload;
   let i = ref t.size in
   t.size <- t.size + 1;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if t.keys.(!i) < t.keys.(parent) then begin
-      swap t !i parent;
+    if keys.(!i) < keys.(parent) then begin
+      let k = keys.(!i) and p = payloads.(!i) in
+      keys.(!i) <- keys.(parent);
+      payloads.(!i) <- payloads.(parent);
+      keys.(parent) <- k;
+      payloads.(parent) <- p;
       i := parent
     end
     else continue := false
   done
 
-let pop t =
-  if t.size = 0 then None
+(* Pops the minimum element and returns its payload, or [no_event] when
+   empty.  The popped key is parked at [keys.(size)] — a slot outside the
+   live heap — where [popped_key] can read it without allocating; it stays
+   valid until the next [push_key]. *)
+let pop_unsafe t =
+  if t.size = 0 then no_event
   else begin
-    let key = t.keys.(0) and payload = t.payloads.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.keys.(0) <- t.keys.(t.size);
-      t.payloads.(0) <- t.payloads.(t.size);
+    let keys = t.keys and payloads = t.payloads in
+    let key = keys.(0) and payload = payloads.(0) in
+    let size = t.size - 1 in
+    t.size <- size;
+    if size > 0 then begin
+      keys.(0) <- keys.(size);
+      payloads.(0) <- payloads.(size);
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
-        if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+        if l < size && keys.(l) < keys.(!smallest) then smallest := l;
+        if r < size && keys.(r) < keys.(!smallest) then smallest := r;
         if !smallest <> !i then begin
-          swap t !i !smallest;
+          let k = keys.(!i) and p = payloads.(!i) in
+          keys.(!i) <- keys.(!smallest);
+          payloads.(!i) <- payloads.(!smallest);
+          keys.(!smallest) <- k;
+          payloads.(!smallest) <- p;
           i := !smallest
         end
         else continue := false
       done
     end;
-    Some (key, payload)
+    keys.(size) <- key;
+    payload
   end
 
-let peek_key t = if t.size = 0 then None else Some t.keys.(0)
+let popped_key t = t.keys.(t.size)
+
+let push t key payload =
+  if not (key >= 0.) then invalid_arg "Min_heap.push: negative or NaN key";
+  push_key t (key_of_float key) payload
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let payload = pop_unsafe t in
+    Some (float_of_key (popped_key t), payload)
+  end
+
+let peek_key t = if t.size = 0 then None else Some (float_of_key t.keys.(0))
+
+let peek_key_int t = if t.size = 0 then min_int else t.keys.(0)
 
 let size t = t.size
 

@@ -1,16 +1,54 @@
-(** Binary min-heap with float keys and integer payloads.
+(** Binary min-heap with integer keys and integer payloads.
 
     Used as the event queue of the dynamic timing simulator; payloads are
-    gate ids. Ties are popped in unspecified order. *)
+    gate ids. Ties are popped in unspecified (but deterministic) order.
+
+    The primary API is integer-keyed and allocation-free on both push and
+    pop. Keys are typically order-preserving encodings of non-negative
+    floats obtained via {!key_of_float}: the IEEE-754 bit pattern of a
+    non-negative double compares exactly like the double itself, so int
+    comparisons reproduce float comparisons, ties included. The encoding
+    pre-scales by an exact power of two (2^-32) so that any key below
+    2^33 fits OCaml's 63-bit int; the round-trip through
+    {!float_of_key} is exact. A float-keyed convenience API
+    ({!push}/{!pop}) is layered on top for non-hot-path users. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 
+val no_event : int
+(** Sentinel (-1) returned by {!pop_unsafe} on an empty heap. Payloads
+    must therefore be non-negative. *)
+
+val key_of_float : float -> int
+(** Order-preserving encoding of a non-negative float < 2^33. *)
+
+val float_of_key : int -> float
+(** Inverse of {!key_of_float}. *)
+
+val push_key : t -> int -> int -> unit
+(** [push_key t key payload] inserts without allocating. *)
+
+val pop_unsafe : t -> int
+(** Removes the minimum element and returns its payload, or {!no_event}
+    when empty. Allocation-free; read the popped element's key with
+    {!popped_key} before the next [push_key]. *)
+
+val popped_key : t -> int
+(** Key of the element last removed by {!pop_unsafe}. Valid only between
+    a successful [pop_unsafe] and the next [push_key]. *)
+
+val peek_key_int : t -> int
+(** Minimum key, or [min_int] when empty. Allocation-free. *)
+
 val push : t -> float -> int -> unit
+(** Float-keyed convenience wrapper; the key must be non-negative and
+    < 2^33. *)
 
 val pop : t -> (float * int) option
-(** Removes and returns the minimum-key element. *)
+(** Removes and returns the minimum-key element. Allocates; hot paths use
+    {!pop_unsafe}. *)
 
 val peek_key : t -> float option
 

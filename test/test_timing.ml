@@ -45,6 +45,69 @@ let prop_heap_sorts =
       in
       drain neg_infinity)
 
+(* Keys quantized to a small grid so duplicate keys are frequent: the pop
+   sequence must be exactly the sorted input multiset, and every payload
+   must identify a pushed element carrying that key. *)
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap pop sequence equals List.sort (with duplicates)"
+    ~count:300
+    QCheck.(list (int_range 0 15))
+    (fun ints ->
+      let keys = List.map (fun i -> float_of_int i *. 12.5) ints in
+      let arr = Array.of_list keys in
+      let h = Min_heap.create () in
+      List.iteri (fun i k -> Min_heap.push h k i) keys;
+      let popped = ref [] in
+      let payload_ok = ref true in
+      let rec drain () =
+        match Min_heap.pop h with
+        | None -> ()
+        | Some (k, p) ->
+          if not (p >= 0 && p < Array.length arr && arr.(p) = k) then
+            payload_ok := false;
+          popped := k :: !popped;
+          drain ()
+      in
+      drain ();
+      !payload_ok && List.rev !popped = List.sort compare keys)
+
+let test_heap_int_key_api () =
+  (* key_of_float is a strictly monotone, exactly invertible encoding. *)
+  let samples = [ 0.; 0.5; 1.; 3.25; 17.; 999.75; 1000.; 123456.789 ] in
+  List.iter
+    (fun f ->
+      check_float "key roundtrip" f (Min_heap.float_of_key (Min_heap.key_of_float f)))
+    samples;
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "key order preserved" true
+        (Min_heap.key_of_float a < Min_heap.key_of_float b);
+      pairs rest
+    | _ -> ()
+  in
+  pairs samples;
+  (* pop_unsafe drains in nondecreasing key order without options. *)
+  let h = Min_heap.create ~capacity:2 () in
+  let keys = [| 7.5; 1.25; 7.5; 0.; 3.; 1.25; 42. |] in
+  Array.iteri (fun i k -> Min_heap.push_key h (Min_heap.key_of_float k) i) keys;
+  Alcotest.(check int) "peek is min" (Min_heap.key_of_float 0.)
+    (Min_heap.peek_key_int h);
+  let last = ref min_int and n = ref 0 in
+  let rec drain () =
+    let p = Min_heap.pop_unsafe h in
+    if p <> Min_heap.no_event then begin
+      let k = Min_heap.popped_key h in
+      Alcotest.(check bool) "nondecreasing" true (k >= !last);
+      check_float "key matches pushed payload" keys.(p) (Min_heap.float_of_key k);
+      last := k;
+      incr n;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check int) "all popped" (Array.length keys) !n;
+  Alcotest.(check int) "empty sentinel" Min_heap.no_event (Min_heap.pop_unsafe h)
+
 (* ---------- Vdd_model ---------- *)
 
 let test_vdd_nominal_is_unity () =
@@ -609,11 +672,168 @@ let prop_dta_settle_within_sta_on_random_circuits =
       done;
       !ok)
 
+(* ---------- DTA vs. seed reference kernel ---------- *)
+
+(* A line-for-line replica of the seed (pre-optimization) DTA: float event
+   times, O(n_nets) settle reset per cycle, one event pushed per fan-out
+   reader per transition, no coalescing. The production kernel must
+   produce bit-identical settle times and values; this pins the int-key
+   encoding, the generation-stamp reset and the same-time event dedup
+   against the straightforward implementation. *)
+module Ref_dta = struct
+  type t = {
+    circuit : Circuit.t;
+    delay : float array;
+    values : bool array;
+    settle : float array;
+    staged : (Circuit.net * bool) Queue.t;
+    heap : Min_heap.t;
+  }
+
+  let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
+      ?(lib = Cell_lib.default) (c : Circuit.t) =
+    let kind_factor =
+      let table =
+        List.map (fun k -> (k, Vdd_model.derate_kind vdd_model lib k vdd)) Cell.all
+      in
+      fun kind -> List.assq kind table
+    in
+    let delay =
+      Array.mapi
+        (fun i (g : Circuit.gate) ->
+          c.Circuit.base_delay.(i) *. kind_factor g.Circuit.kind)
+        c.Circuit.gates
+    in
+    let values = Array.make c.Circuit.n_nets false in
+    (match c.Circuit.const_true with Some n -> values.(n) <- true | None -> ());
+    Circuit.eval_all_gates c values;
+    {
+      circuit = c;
+      delay;
+      values;
+      settle = Array.make c.Circuit.n_nets 0.;
+      staged = Queue.create ();
+      heap = Min_heap.create ();
+    }
+
+  let set_input t net v = Queue.add (net, v) t.staged
+
+  let set_input_vec t nets word =
+    Array.iteri (fun i n -> set_input t n ((word lsr i) land 1 = 1)) nets
+
+  let cycle t =
+    Array.fill t.settle 0 (Array.length t.settle) 0.;
+    let off = t.circuit.Circuit.reader_off
+    and rg = t.circuit.Circuit.reader_gate in
+    let push_readers net time =
+      for j = off.(net) to off.(net + 1) - 1 do
+        let gi = rg.(j) in
+        Min_heap.push t.heap (time +. t.delay.(gi)) gi
+      done
+    in
+    Queue.iter
+      (fun (net, v) ->
+        if t.values.(net) <> v then begin
+          t.values.(net) <- v;
+          push_readers net 0.
+        end)
+      t.staged;
+    Queue.clear t.staged;
+    let rec drain () =
+      match Min_heap.pop t.heap with
+      | None -> ()
+      | Some (time, gi) ->
+        let out_net = t.circuit.Circuit.gates.(gi).Circuit.out in
+        let v = Circuit.eval_gate t.circuit t.values gi in
+        if t.values.(out_net) <> v then begin
+          t.values.(out_net) <- v;
+          t.settle.(out_net) <- time;
+          push_readers out_net time
+        end;
+        drain ()
+    in
+    drain ()
+
+  let read_vec t nets =
+    let acc = ref 0 in
+    Array.iteri (fun i n -> if t.values.(n) then acc := !acc lor (1 lsl i)) nets;
+    !acc
+
+  let settle_time t net = t.settle.(net)
+end
+
+let test_dta_equals_reference_kernel () =
+  let alu = Lazy.force sized_alu in
+  let c = alu.Alu.circuit in
+  let dta = Dta.create c in
+  let rf = Ref_dta.create c in
+  let rng = Rng.of_int 2024 in
+  List.iter
+    (fun cls ->
+      Array.iter
+        (fun (sc, n) ->
+          Dta.set_input dta n (sc = cls);
+          Ref_dta.set_input rf n (sc = cls))
+        alu.Alu.selects;
+      for _ = 1 to 12 do
+        let a = Rng.bits32 rng and b = Rng.bits32 rng in
+        Dta.set_input_vec dta alu.Alu.a a;
+        Ref_dta.set_input_vec rf alu.Alu.a a;
+        Dta.set_input_vec dta alu.Alu.b b;
+        Ref_dta.set_input_vec rf alu.Alu.b b;
+        Dta.cycle dta;
+        Ref_dta.cycle rf;
+        Alcotest.(check int) "result vector identical"
+          (Ref_dta.read_vec rf alu.Alu.result)
+          (Dta.read_vec dta alu.Alu.result);
+        Array.iter
+          (fun n ->
+            let s_ref = Ref_dta.settle_time rf n and s = Dta.settle_time dta n in
+            if s <> s_ref then
+              Alcotest.failf "settle mismatch on net %d: %.17g vs reference %.17g" n
+                s s_ref)
+          alu.Alu.result
+      done)
+    [ Op_class.Add; Op_class.Mul; Op_class.Xor_; Op_class.Sll ]
+
+let test_dta_cycle_allocation_free () =
+  match Sys.backend_type with
+  | Sys.Native ->
+    let alu = Lazy.force sized_alu in
+    let dta = Dta.create alu.Alu.circuit in
+    let rng = Rng.of_int 99 in
+    let n = 64 in
+    let va = Array.init n (fun _ -> Rng.bits32 rng) in
+    let vb = Array.init n (fun _ -> Rng.bits32 rng) in
+    let run () =
+      for i = 0 to n - 1 do
+        Dta.set_input_vec dta alu.Alu.a va.(i);
+        Dta.set_input_vec dta alu.Alu.b vb.(i);
+        Dta.cycle dta
+      done
+    in
+    (* Warm-up grows the heap and staging buffers to steady state. *)
+    run ();
+    let w0 = Gc.minor_words () in
+    run ();
+    let dw = Gc.minor_words () -. w0 in
+    (* The first Gc.minor_words call boxes its float result inside the
+       measured window, so allow a few words of slack; the seed kernel
+       allocated several words per event (hundreds of thousands here). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "DTA cycles allocated %.0f minor words" dw)
+      true (dw < 16.)
+  | Sys.Bytecode | Sys.Other _ ->
+    (* Bytecode boxes the [@unboxed] float/int64 externals; the property
+       only holds (and only matters) for native code. *)
+    ()
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
       [
         prop_heap_sorts;
+        prop_heap_matches_sort;
         prop_cdf_monotone;
         prop_dta_matches_logic_on_random_circuits;
         prop_dta_settle_within_sta_on_random_circuits;
@@ -625,6 +845,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "grows" `Quick test_heap_grows;
+          Alcotest.test_case "int-key api" `Quick test_heap_int_key_api;
         ] );
       ( "vdd_model",
         [
@@ -663,6 +884,10 @@ let () =
           Alcotest.test_case "rejects non-input" `Quick test_dta_rejects_non_input;
           Alcotest.test_case "matches logic sim on ALU" `Quick test_dta_matches_logic_sim_on_alu;
           Alcotest.test_case "settle bounded by STA" `Quick test_dta_settle_bounded_by_sta;
+          Alcotest.test_case "equals seed reference kernel" `Quick
+            test_dta_equals_reference_kernel;
+          Alcotest.test_case "cycle is allocation-free" `Quick
+            test_dta_cycle_allocation_free;
         ] );
       ( "path_report",
         [
