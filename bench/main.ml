@@ -233,6 +233,40 @@ let points_equal a b =
          && p.Sfi_fi.Campaign.any_fault_possible = q.Sfi_fi.Campaign.any_fault_possible)
        a b
 
+(* Deterministic obs fingerprint of a region: counters and histograms are
+   cumulative, so subtract the before-snapshot name by name. Spans and
+   ~det:false metrics are excluded, same as [Sfi_obs.det_signature]. *)
+let det_obs_delta before after =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e -> Hashtbl.replace tbl e.Sfi_obs.entry_name e.Sfi_obs.entry_value)
+    before;
+  List.filter_map
+    (fun e ->
+      if not e.Sfi_obs.entry_det then None
+      else
+        let prev = Hashtbl.find_opt tbl e.Sfi_obs.entry_name in
+        match (e.Sfi_obs.entry_value, prev) with
+        | Sfi_obs.Counter_v v, Some (Sfi_obs.Counter_v v0) ->
+          Some (e.Sfi_obs.entry_name, [ v - v0 ])
+        | Sfi_obs.Counter_v v, _ -> Some (e.Sfi_obs.entry_name, [ v ])
+        | Sfi_obs.Hist_v h, prev ->
+          let c0, s0, b0 =
+            match prev with
+            | Some (Sfi_obs.Hist_v h0) -> (h0.count, h0.sum, h0.buckets)
+            | _ -> (0, 0, [])
+          in
+          let pairs =
+            h.buckets
+            |> List.map (fun (b, c) ->
+                   (b, c - Option.value ~default:0 (List.assoc_opt b b0)))
+            |> List.filter (fun (_, c) -> c <> 0)
+            |> List.concat_map (fun (b, c) -> [ b; c ])
+          in
+          Some (e.Sfi_obs.entry_name, (h.count - c0) :: (h.sum - s0) :: pairs)
+        | Sfi_obs.Span_v _, _ -> None)
+    after
+
 (* One fast model-C sweep run twice — jobs = 1 then jobs = default — to
    measure the pool's wall-time gain and assert the determinism contract
    end to end. *)
@@ -249,11 +283,17 @@ let parallel_smoke () =
     (pts, Unix.gettimeofday () -. t0)
   in
   ignore (run 1) (* warm the reference-cycle cache out of the timed region *);
+  let obs_start = Sfi_obs.snapshot () in
   let serial_pts, serial_wall_s = run 1 in
+  let obs_mid = Sfi_obs.snapshot () in
+  let serial_obs = det_obs_delta obs_start obs_mid in
   let jobs = Pool.default_jobs () in
   let parallel_pts, parallel_wall_s = run jobs in
+  let parallel_obs = det_obs_delta obs_mid (Sfi_obs.snapshot ()) in
   if not (points_equal serial_pts parallel_pts) then
     failwith "parallel smoke: jobs=1 and jobs=N produced different points";
+  if Sfi_obs.enabled () && serial_obs <> parallel_obs then
+    failwith "parallel smoke: obs det counters diverged between jobs=1 and jobs=N";
   Printf.printf
     "parallel smoke: %d points x %d trials, serial %.2f s, %d job(s) %.2f s (%.2fx), \
      results bit-identical\n%!"
@@ -286,11 +326,14 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/2\",\n";
+  add "  \"schema\": \"sfi-bench/3\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"scale\": \"%s\",\n" (json_escape scale_label);
+  (* Full observability snapshot (schema sfi-obs/1 entries) so the
+     trajectory tracker can diff work counts, not just wall times. *)
+  add "  \"obs\": %s,\n" (Sfi_obs.Json.to_string (Sfi_obs.json_of_snapshot ()));
   add "  \"experiments\": [";
   List.iteri
     (fun i (id, dt) ->
@@ -358,6 +401,9 @@ let () =
   let skip_bechamel = List.mem "--no-bechamel" args in
   let smoke_only = List.mem "--smoke" args in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
+  (* The whole harness runs instrumented: work counters cost a few int
+     increments per hot loop and feed the "obs" object in BENCH.json. *)
+  Sfi_obs.set_enabled true;
   Printf.printf "parallel engine: %d job(s) (of %d recommended domains)\n%!"
     (Pool.default_jobs ())
     (Domain.recommended_domain_count ());

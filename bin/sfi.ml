@@ -29,6 +29,32 @@ let apply_jobs jobs =
     (Sfi_util.Pool.default_jobs ())
     (Domain.recommended_domain_count ())
 
+(* Shared --obs option: enables the observability registry for the run
+   and writes the merged counter/histogram/span snapshot as JSONL when
+   the command completes. *)
+let obs_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "obs" ] ~docv:"FILE"
+           ~doc:"Record observability counters during the run and write the merged \
+                 snapshot to $(docv) as JSONL (schema sfi-obs/1).")
+
+let with_obs obs f =
+  (match obs with Some _ -> Sfi_obs.set_enabled true | None -> ());
+  let r = f () in
+  (match obs with
+  | None -> ()
+  | Some path ->
+    Sfi_obs.write_jsonl
+      ~meta:
+        [
+          ("jobs", Sfi_obs.Json.Int (Sfi_util.Pool.default_jobs ()));
+          ("generated_unix", Sfi_obs.Json.Int (int_of_float (Unix.time ())));
+        ]
+      path;
+    Printf.printf "wrote %s\n" path);
+  r
+
 (* ---------- sfi experiments ---------- *)
 
 let experiments_cmd =
@@ -39,13 +65,14 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only jobs =
+  let run ids paper list_only jobs obs =
     if list_only then
       List.iter
         (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
         Sfi_core.Experiments.all
     else begin
       apply_jobs jobs;
+      with_obs obs @@ fun () ->
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
       let ctx = Sfi_core.Experiments.make_ctx scale in
       ignore (Sfi_core.Experiments.run ctx ids)
@@ -53,7 +80,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ paper $ list_only $ jobs_arg)
+    Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg)
 
 (* ---------- sfi flow ---------- *)
 
@@ -170,8 +197,9 @@ let campaign_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
   in
-  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs =
+  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs obs =
     apply_jobs jobs;
+    with_obs obs @@ fun () ->
     match Sfi_kernels.Registry.by_name bench_name with
     | None ->
       Printf.eprintf "unknown benchmark %s (try: %s)\n" bench_name
@@ -236,7 +264,148 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
-          $ prob $ char_cycles $ csv $ jobs_arg)
+          $ prob $ char_cycles $ csv $ jobs_arg $ obs_arg)
+
+(* ---------- sfi stats ---------- *)
+
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Observability snapshot (JSONL, schema sfi-obs/1) \
+                                      written by --obs.")
+  in
+  let run file =
+    let open Sfi_obs.Json in
+    let lines =
+      String.split_on_char '\n' (read_file file)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let parsed =
+      List.filter_map
+        (fun l ->
+          match parse l with
+          | v -> Some v
+          | exception Parse_error msg ->
+            Printf.eprintf "sfi stats: skipping malformed line (%s)\n" msg;
+            None)
+        lines
+    in
+    (match List.find_opt (fun v -> member "schema" v <> None) parsed with
+    | Some header ->
+      let schema =
+        Option.value ~default:"?" (Option.bind (member "schema" header) to_string_opt)
+      in
+      let jobs = Option.bind (member "jobs" header) to_int in
+      Printf.printf "snapshot %s (schema %s%s)\n" file schema
+        (match jobs with Some j -> Printf.sprintf ", %d jobs" j | None -> "")
+    | None -> Printf.printf "snapshot %s (no header line)\n" file);
+    let typed t =
+      List.filter
+        (fun v -> Option.bind (member "type" v) to_string_opt = Some t)
+        parsed
+    in
+    let name_of v =
+      Option.value ~default:"?" (Option.bind (member "name" v) to_string_opt)
+    in
+    let int_of key v = Option.value ~default:0 (Option.bind (member key v) to_int) in
+    let counters = typed "counter" and hists = typed "hist" and spans = typed "span" in
+    let ct =
+      Sfi_util.Table.create ~title:"counters"
+        [ ("name", Sfi_util.Table.Left); ("det", Sfi_util.Table.Left);
+          ("value", Sfi_util.Table.Right) ]
+    in
+    List.iter
+      (fun v ->
+        let det = Option.value ~default:true (Option.bind (member "det" v) to_bool) in
+        Sfi_util.Table.add_row ct
+          [ name_of v; (if det then "yes" else "no"); string_of_int (int_of "value" v) ])
+      counters;
+    Sfi_util.Table.print ct;
+    if hists <> [] then begin
+      let ht =
+        Sfi_util.Table.create ~title:"log2 histograms"
+          [ ("name", Sfi_util.Table.Left); ("count", Sfi_util.Table.Right);
+            ("sum", Sfi_util.Table.Right); ("mean", Sfi_util.Table.Right);
+            ("~p50", Sfi_util.Table.Right); ("max bucket", Sfi_util.Table.Right) ]
+      in
+      List.iter
+        (fun v ->
+          let count = int_of "count" v and sum = int_of "sum" v in
+          let buckets =
+            match member "buckets" v with
+            | Some (List bs) ->
+              List.filter_map
+                (function
+                  | List [ b; c ] -> (
+                    match (to_int b, to_int c) with
+                    | Some b, Some c -> Some (b, c)
+                    | _ -> None)
+                  | _ -> None)
+                bs
+            | _ -> []
+          in
+          (* Approximate p50: the lower bound of the bucket where the
+             cumulative count crosses half. *)
+          let p50 =
+            let half = (count + 1) / 2 in
+            let rec walk acc = function
+              | [] -> "n/a"
+              | (b, c) :: rest ->
+                if acc + c >= half && count > 0 then
+                  Printf.sprintf ">=%d" (Sfi_obs.Hist.lo_of_bucket b)
+                else walk (acc + c) rest
+            in
+            walk 0 buckets
+          in
+          let max_bucket =
+            match List.rev buckets with
+            | (b, _) :: _ -> Printf.sprintf ">=%d" (Sfi_obs.Hist.lo_of_bucket b)
+            | [] -> "n/a"
+          in
+          let mean =
+            if count = 0 then nan else float_of_int sum /. float_of_int count
+          in
+          Sfi_util.Table.add_row ht
+            [ name_of v; string_of_int count; string_of_int sum;
+              Sfi_util.Table.fmt_float ~decimals:1 mean; p50; max_bucket ])
+        hists;
+      Sfi_util.Table.print ht
+    end;
+    if spans <> [] then begin
+      let st =
+        Sfi_util.Table.create ~title:"wall-time spans"
+          [ ("name", Sfi_util.Table.Left); ("count", Sfi_util.Table.Right);
+            ("total [s]", Sfi_util.Table.Right); ("mean [ms]", Sfi_util.Table.Right) ]
+      in
+      List.iter
+        (fun v ->
+          let count = int_of "count" v and ns = int_of "total_ns" v in
+          let mean_ms =
+            if count = 0 then nan
+            else float_of_int ns /. 1e6 /. float_of_int count
+          in
+          Sfi_util.Table.add_row st
+            [ name_of v; string_of_int count;
+              Sfi_util.Table.fmt_float ~decimals:3 (float_of_int ns /. 1e9);
+              Sfi_util.Table.fmt_float ~decimals:3 mean_ms ])
+        spans;
+      Sfi_util.Table.print st
+    end;
+    (* Degenerate-input-safe summary: all of these are total functions
+       even when the snapshot carries no counters at all. *)
+    let values =
+      Array.of_list (List.map (fun v -> float_of_int (int_of "value" v)) counters)
+    in
+    Printf.printf
+      "%d counters, %d histograms, %d spans; counter median %s, p95 %s\n"
+      (List.length counters) (List.length hists) (List.length spans)
+      (Sfi_util.Table.fmt_float ~decimals:1 (Sfi_util.Stats.median values))
+      (Sfi_util.Table.fmt_float ~decimals:1 (Sfi_util.Stats.percentile values 95.))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Summarize an observability snapshot written by campaign/experiments --obs.")
+    Term.(const run $ file)
 
 (* ---------- sfi verilog ---------- *)
 
@@ -316,7 +485,7 @@ let main =
        ~doc:
          "Statistical fault injection for impact-evaluation of timing errors (DAC'16 \
           reproduction).")
-    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; verilog_cmd; paths_cmd;
-      trace_cmd ]
+    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; stats_cmd; verilog_cmd;
+      paths_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

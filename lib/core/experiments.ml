@@ -764,7 +764,11 @@ let run ctx ids =
       (* Wall clock, not [Sys.time]: CPU time sums over all domains and
          would hide any parallel speedup. *)
       let t0 = Unix.gettimeofday () in
-      if run_one ctx id then begin
+      let known =
+        Sfi_obs.Span.time (Sfi_obs.Span.make ("experiment." ^ id)) (fun () ->
+            run_one ctx id)
+      in
+      if known then begin
         let dt = Unix.gettimeofday () -. t0 in
         Printf.printf "---- %s done in %.1f s ----\n\n%!" id dt;
         Some (id, dt)

@@ -2,6 +2,23 @@ open Sfi_util
 open Sfi_sim
 open Sfi_kernels
 
+(* Observability. Trial and point counts, the reference-cycle cache
+   hit/miss split and the per-trial kernel-cycles histogram are pure
+   functions of the requested work (deterministic); the per-benchmark
+   wall spans are not and are excluded from the determinism signature by
+   construction. *)
+let obs_trials = Sfi_obs.Counter.make "campaign.trials"
+
+let obs_points = Sfi_obs.Counter.make "campaign.points"
+
+let obs_ref_hits = Sfi_obs.Counter.make "campaign.reference_cycles.hits"
+
+let obs_ref_misses = Sfi_obs.Counter.make "campaign.reference_cycles.misses"
+
+let obs_trial_cycles = Sfi_obs.Hist.make "campaign.trial_kernel_cycles"
+
+let obs_bench_span name = Sfi_obs.Span.make ("campaign.bench." ^ name)
+
 type trial = {
   finished : bool;
   correct : bool;
@@ -45,8 +62,11 @@ let reference_cycles =
     in
     Mutex.protect lock (fun () ->
         match !cell with
-        | Some cycles -> cycles
+        | Some cycles ->
+          Sfi_obs.Counter.incr obs_ref_hits;
+          cycles
         | None ->
+          Sfi_obs.Counter.incr obs_ref_misses;
           let stats, _ = Bench.run_fault_free bench in
           cell := Some stats.Cpu.cycles;
           stats.Cpu.cycles)
@@ -70,6 +90,8 @@ let run_trial_with ~bench ~model ~freq_mhz ~rng =
     if finished then bench.Bench.metric ~expected:bench.Bench.golden ~actual else nan
   in
   let kernel_cycles = max 1 stats.Cpu.kernel_cycles in
+  Sfi_obs.Counter.incr obs_trials;
+  Sfi_obs.Hist.observe obs_trial_cycles kernel_cycles;
   {
     finished;
     correct;
@@ -113,6 +135,8 @@ let aggregate ~freq_mhz ~any_fault_possible trials_list =
    bit-identical for every job count. *)
 let run_point_in pool ?(trials = 100) ?(seed = 1) ~bench ~model ~freq_mhz () =
   if trials < 1 then invalid_arg "Campaign.run_point: trials must be positive";
+  Sfi_obs.Counter.incr obs_points;
+  Sfi_obs.Span.time (obs_bench_span bench.Bench.name) @@ fun () ->
   let root = Rng.of_int (seed lxor 0x0F1) in
   let probe = Injector.create ~model ~freq_mhz ~rng:(Rng.copy root) in
   if Injector.cannot_inject probe then begin

@@ -7,7 +7,37 @@ type t = {
   mutable events : int;
   by_class : int array;
   cannot : bool;
+  fault_counter : Sfi_obs.Counter.t; (* faults committed, per model name *)
 }
+
+(* Observability. All injector counters are pure functions of the hook
+   call sequence and the per-trial RNG streams, both of which are fixed
+   by the determinism contract, so they are registered deterministic.
+   [attempts.<class>] counts hook invocations per operation class;
+   [skip_table_hits] the quantized noise-table fast path returning a
+   provably-empty mask; [class_cannot_hits] the per-class worst-case
+   short-circuit; [sta_mask_prunes] static-timing binary searches that
+   resolved to an empty mask. *)
+let obs_attempts =
+  Array.of_list
+    (List.map
+       (fun c -> Sfi_obs.Counter.make ("injector.attempts." ^ Op_class.name c))
+       Op_class.all)
+
+let obs_skip_table = Sfi_obs.Counter.make "injector.skip_table_hits"
+
+let obs_class_cannot = Sfi_obs.Counter.make "injector.class_cannot_hits"
+
+let obs_sta_prune = Sfi_obs.Counter.make "injector.sta_mask_prunes"
+
+let obs_fault_bits = Sfi_obs.Hist.make "injector.fault_bits_per_event"
+
+let fault_counter_for model =
+  Sfi_obs.Counter.make ("injector.faults." ^ Model.name model)
+
+let obs_attempt cls =
+  if Sfi_obs.enabled () then
+    Sfi_obs.Counter.incr (Array.unsafe_get obs_attempts (Op_class.index cls))
 
 let record t cls mask =
   if mask <> 0 then begin
@@ -15,7 +45,11 @@ let record t cls mask =
     t.bits <- t.bits + n;
     t.events <- t.events + 1;
     let i = Op_class.index cls in
-    t.by_class.(i) <- t.by_class.(i) + n
+    t.by_class.(i) <- t.by_class.(i) + n;
+    if Sfi_obs.enabled () then begin
+      Sfi_obs.Counter.add t.fault_counter n;
+      Sfi_obs.Hist.observe obs_fault_bits n
+    end
   end;
   mask
 
@@ -65,6 +99,7 @@ let table_threshold tbl nv =
 
 let create ~model ~freq_mhz ~rng =
   let period = Sta.period_ps_of_mhz freq_mhz in
+  let fault_counter = fault_counter_for model in
   match model with
   | Model.Fixed_probability { bit_flip_prob } ->
     let cannot = bit_flip_prob <= 0. in
@@ -72,6 +107,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            obs_attempt cls;
             if cannot then 0
             else begin
               let mask = ref 0 in
@@ -84,6 +120,7 @@ let create ~model ~freq_mhz ~rng =
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        fault_counter;
       }
     in
     t
@@ -141,6 +178,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            obs_attempt cls;
             if cannot then 0
             else if not has_noise then record t cls static_mask
             else begin
@@ -149,15 +187,19 @@ let create ~model ~freq_mhz ~rng =
               | Some tbl when max_arrival <= table_threshold tbl nv ->
                 (* Even the bucket's most pessimistic threshold clears the
                    slowest endpoint: the mask is provably 0. *)
+                Sfi_obs.Counter.incr obs_skip_table;
                 0
               | _ ->
                 let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
-                record t cls (mask_at (period /. scale))
+                let mask = mask_at (period /. scale) in
+                if mask = 0 then Sfi_obs.Counter.incr obs_sta_prune;
+                record t cls mask
             end);
         bits = 0;
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        fault_counter;
       }
     in
     t
@@ -203,6 +245,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
+            obs_attempt cls;
             if cannot then 0
             else begin
               let ci = Op_class.index cls in
@@ -211,6 +254,7 @@ let create ~model ~freq_mhz ~rng =
                    sigma draw is consumed here, so skipping the rest of the
                    hook leaves the RNG stream identical. *)
                 if has_noise then ignore (Noise.draw noise rng : float);
+                Sfi_obs.Counter.incr obs_class_cannot;
                 0
               end
               else begin
@@ -221,7 +265,10 @@ let create ~model ~freq_mhz ~rng =
                   | Some tbl -> cdb.Characterize.max_settle <= table_threshold tbl nv
                   | None -> false
                 in
-                if skip then 0
+                if skip then begin
+                  Sfi_obs.Counter.incr obs_skip_table;
+                  0
+                end
                 else begin
                   let threshold =
                     if has_noise then
@@ -260,6 +307,7 @@ let create ~model ~freq_mhz ~rng =
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        fault_counter;
       }
     in
     t

@@ -24,6 +24,14 @@ let uniform8 =
     sample = (fun rng -> (Rng.bits32 rng land 0xFF, Rng.bits32 rng land 0xFF));
   }
 
+let obs_runs = Sfi_obs.Counter.make "characterize.runs"
+
+let obs_classes = Sfi_obs.Counter.make "characterize.classes"
+
+let obs_cycles = Sfi_obs.Counter.make "characterize.cycles"
+
+let obs_wall = Sfi_obs.Span.make "characterize.wall"
+
 type class_db = {
   cls : Op_class.t;
   profile_name : string;
@@ -41,6 +49,8 @@ type t = {
 }
 
 let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) cls =
+  Sfi_obs.Counter.incr obs_classes;
+  Sfi_obs.Counter.add obs_cycles cycles;
   let dta = Dta.create ~vdd ~vdd_model ~lib alu.Alu.circuit in
   (* Select the class once; the select settling cycle is not recorded. *)
   Array.iter
@@ -85,6 +95,8 @@ let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
     ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
     ?(profile_for = fun _ -> uniform32) ?jobs ~vdd (alu : Alu.t) =
   if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
+  Sfi_obs.Counter.incr obs_runs;
+  Sfi_obs.Span.time obs_wall @@ fun () ->
   let root = Rng.of_int seed in
   (* Split the per-class RNGs from the root seed in class order before
      dispatch; each class then runs on its own Dta.t instance, so the

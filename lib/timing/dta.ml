@@ -30,8 +30,25 @@ type t = {
   mutable staged : int array; (* packed (net lsl 1) lor bit *)
   mutable staged_n : int;
   mutable events : int;
+  mutable settles : int; (* value-changing events (all cycles) *)
+  mutable coalesced : int; (* same-instant evaluations deduped *)
   is_input : bool array;
 }
+
+(* Observability: the hot loops accumulate into the plain int fields
+   above (one predictable add, no flag test); [cycle] flushes the deltas
+   to the registry once per generation bump. All four counts are pure
+   functions of the stimulus, so they are deterministic across job
+   counts. *)
+let obs_events = Sfi_obs.Counter.make "dta.events"
+
+let obs_settles = Sfi_obs.Counter.make "dta.settles"
+
+let obs_coalesced = Sfi_obs.Counter.make "dta.coalesced"
+
+let obs_cycles = Sfi_obs.Counter.make "dta.cycles"
+
+let obs_events_per_cycle = Sfi_obs.Hist.make "dta.events_per_cycle"
 
 let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
     ?(lib = Cell_lib.default) (c : Circuit.t) =
@@ -65,6 +82,8 @@ let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
     staged = Array.make 64 0;
     staged_n = 0;
     events = 0;
+    settles = 0;
+    coalesced = 0;
     is_input;
   }
 
@@ -112,6 +131,7 @@ let schedule_readers t net time_key =
       Array.unsafe_set t.sched_key gi key;
       Min_heap.push_key t.heap key gi
     end
+    else t.coalesced <- t.coalesced + 1
   done
 
 let rec drain t =
@@ -122,6 +142,7 @@ let rec drain t =
     let out_net = Array.unsafe_get t.circuit.Circuit.gate_out gi in
     let v = Circuit.eval_gate t.circuit t.values gi in
     if Array.unsafe_get t.values out_net <> v then begin
+      t.settles <- t.settles + 1;
       Array.unsafe_set t.values out_net v;
       Array.unsafe_set t.settle out_net
         (Int64.float_of_bits (Int64.of_int key));
@@ -133,6 +154,7 @@ let rec drain t =
 
 let cycle t =
   t.gen <- t.gen + 1;
+  let events0 = t.events and settles0 = t.settles and coalesced0 = t.coalesced in
   (* Launch staged input transitions at t = 0 (heap key 0 = bits of 0.0). *)
   for i = 0 to t.staged_n - 1 do
     let s = Array.unsafe_get t.staged i in
@@ -144,7 +166,14 @@ let cycle t =
     end
   done;
   t.staged_n <- 0;
-  drain t
+  drain t;
+  if Sfi_obs.enabled () then begin
+    Sfi_obs.Counter.incr obs_cycles;
+    Sfi_obs.Counter.add obs_events (t.events - events0);
+    Sfi_obs.Counter.add obs_settles (t.settles - settles0);
+    Sfi_obs.Counter.add obs_coalesced (t.coalesced - coalesced0);
+    Sfi_obs.Hist.observe obs_events_per_cycle (t.events - events0)
+  end
 
 let value t net = t.values.(net)
 
@@ -159,6 +188,10 @@ let settle_time t net =
   if t.settle_gen.(net) = t.gen then t.settle.(net) *. 0x1p32 else 0.
 
 let events_processed t = t.events
+
+let settles_count t = t.settles
+
+let coalesced_count t = t.coalesced
 
 let check_against t logic nets =
   Array.for_all (fun n -> value t n = Logic_sim.value logic n) nets

@@ -1,3 +1,17 @@
+(* Scheduling observability. Which executor runs a task — and therefore
+   every count below except [map_items] — depends on timing, so those
+   counters are registered [~det:false]: they never participate in the
+   jobs=1 vs jobs=n determinism signature. *)
+let obs_domains = Sfi_obs.Counter.make ~det:false "pool.domains_spawned"
+
+let obs_batches = Sfi_obs.Counter.make ~det:false "pool.batches"
+
+let obs_tasks = Sfi_obs.Counter.make ~det:false "pool.tasks"
+
+let obs_caller_drained = Sfi_obs.Counter.make ~det:false "pool.caller_drained"
+
+let obs_map_items = Sfi_obs.Counter.make "pool.map_items"
+
 type t = {
   jobs : int;
   lock : Mutex.t;
@@ -21,7 +35,12 @@ let worker_loop pool =
       task ();
       loop ()
     | None ->
-      if pool.stop then Mutex.unlock pool.lock
+      if pool.stop then begin
+        Mutex.unlock pool.lock;
+        (* Fold this worker's observability shard into the retained base
+           before the domain dies, so pool join merges the counts. *)
+        Sfi_obs.retire_current_domain ()
+      end
       else begin
         Condition.wait pool.work pool.lock;
         next ()
@@ -44,6 +63,7 @@ let create ~jobs =
   (* The caller participates in every map, so [jobs] executors means
      [jobs - 1] spawned domains; [jobs = 1] is pure serial execution. *)
   pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Sfi_obs.Counter.add obs_domains (jobs - 1);
   pool
 
 let jobs t = t.jobs
@@ -71,7 +91,9 @@ let run_all t tasks =
   if n > 0 then begin
     let remaining = Atomic.make n in
     let exns = Array.make n None in
+    Sfi_obs.Counter.incr obs_batches;
     let wrap i () =
+      Sfi_obs.Counter.incr obs_tasks;
       (try tasks.(i) () with e -> exns.(i) <- Some e);
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         (* Last task of the batch: wake the waiting submitter. *)
@@ -90,6 +112,7 @@ let run_all t tasks =
         match Queue.take_opt t.queue with
         | Some task ->
           Mutex.unlock t.lock;
+          Sfi_obs.Counter.incr obs_caller_drained;
           task ();
           Mutex.lock t.lock;
           help ()
@@ -105,6 +128,7 @@ let run_all t tasks =
 
 let map t f xs =
   let n = Array.length xs in
+  Sfi_obs.Counter.add obs_map_items n;
   if n = 0 then [||]
   else if t.jobs = 1 || n = 1 then begin
     (* Strict left-to-right serial evaluation, no queue overhead. *)

@@ -15,10 +15,11 @@ let variance xs =
 let stddev xs = sqrt (variance xs)
 
 let min_max xs =
-  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
-  Array.fold_left
-    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
-    (xs.(0), xs.(0)) xs
+  if Array.length xs = 0 then (nan, nan)
+  else
+    Array.fold_left
+      (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+      (xs.(0), xs.(0)) xs
 
 let sorted_copy xs =
   let ys = Array.copy xs in
@@ -27,22 +28,27 @@ let sorted_copy xs =
 
 let median xs =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.median: empty";
-  let ys = sorted_copy xs in
-  if n land 1 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+  if n = 0 then nan
+  else begin
+    let ys = sorted_copy xs in
+    if n land 1 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+  end
 
 let percentile xs p =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty";
-  let ys = sorted_copy xs in
-  let p = Float.max 0. (Float.min 100. p) in
-  let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then ys.(lo)
+  if n = 0 then nan
+  else if n = 1 then xs.(0)
   else begin
-    let w = rank -. float_of_int lo in
-    (ys.(lo) *. (1. -. w)) +. (ys.(hi) *. w)
+    let ys = sorted_copy xs in
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (ys.(lo) *. (1. -. w)) +. (ys.(hi) *. w)
+    end
   end
 
 let fraction pred xs =
@@ -63,6 +69,8 @@ type histogram = { lo : float; hi : float; counts : int array }
 
 let histogram ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then { lo = 0.; hi = 0.; counts = Array.make bins 0 }
+  else begin
   let lo, hi = min_max xs in
   let counts = Array.make bins 0 in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
@@ -72,3 +80,4 @@ let histogram ~bins xs =
   in
   Array.iter (fun x -> counts.(index x) <- counts.(index x) + 1) xs;
   { lo; hi; counts }
+  end

@@ -10,15 +10,18 @@ val variance : float array -> float
 val stddev : float array -> float
 
 val min_max : float array -> float * float
-(** Smallest and largest sample. Raises [Invalid_argument] on empty input. *)
+(** Smallest and largest sample; [(nan, nan)] on the empty array, so
+    degenerate campaign summaries never raise. *)
 
 val median : float array -> float
 (** Median (average of the two middle elements for even sizes). Does not
-    mutate its argument. Raises [Invalid_argument] on empty input. *)
+    mutate its argument. [nan] on the empty array; the element itself on
+    a singleton. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
-    order statistics. Raises [Invalid_argument] on empty input. *)
+    order statistics. [nan] on the empty array; the element itself on a
+    singleton (for any [p]). *)
 
 val fraction : ('a -> bool) -> 'a array -> float
 (** Fraction of elements satisfying the predicate; [0.] on empty input. *)
@@ -31,4 +34,5 @@ type histogram = { lo : float; hi : float; counts : int array }
 
 val histogram : bins:int -> float array -> histogram
 (** Equal-width histogram spanning [min, max] of the samples. Values equal
-    to the maximum land in the last bin. [bins] must be positive. *)
+    to the maximum land in the last bin. [bins] must be positive. The
+    empty array yields all-zero counts over [lo = hi = 0.]. *)

@@ -1,0 +1,62 @@
+(* Minimal seeded property-based testing helper.
+
+   No new dependencies: generators are plain functions over
+   [Sfi_util.Rng], and [check] derives one reproducible generator per
+   case from (seed, index), so any falsified case can be replayed from
+   the numbers in the failure message alone. QCheck stays in use for
+   shrinking-heavy properties; this helper covers the common case of
+   "N random inputs through a boolean oracle" without pulling operand
+   distributions away from the library's own RNG. *)
+
+open Sfi_util
+
+type 'a gen = Rng.t -> 'a
+
+let const x _ = x
+let int ~lo ~hi rng = lo + Rng.int rng (hi - lo + 1)
+let u32 rng = Rng.bits32 rng
+let float ~lo ~hi rng = lo +. (Rng.float rng *. (hi -. lo))
+let bool rng = Rng.bool rng
+
+let pair ga gb rng =
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+let triple ga gb gc rng =
+  let a = ga rng in
+  let b = gb rng in
+  let c = gc rng in
+  (a, b, c)
+
+let one_of xs rng = List.nth xs (Rng.int rng (List.length xs))
+
+let array ~min_len ~max_len g rng =
+  let n = int ~lo:min_len ~hi:max_len rng in
+  Array.init n (fun _ -> g rng)
+
+let list ~min_len ~max_len g rng = Array.to_list (array ~min_len ~max_len g rng)
+
+(* Per-case generator: the golden-ratio multiplier decorrelates
+   consecutive case indices the same way SplitMix64's own increment
+   does, so cases are independent streams, not shifted copies. *)
+let case_rng seed i =
+  Rng.create Int64.(logxor (of_int seed) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L))
+
+let check ?(cases = 200) ?(seed = 0xC0FFEE) ?show name gen prop =
+  for i = 0 to cases - 1 do
+    let x = gen (case_rng seed i) in
+    let ok =
+      try prop x
+      with e ->
+        Alcotest.failf "property %s raised %s at case %d/%d (seed %#x)" name
+          (Printexc.to_string e) i cases seed
+    in
+    if not ok then
+      Alcotest.failf "property %s falsified at case %d/%d (seed %#x)%s" name i cases
+        seed
+        (match show with None -> "" | Some f -> ": " ^ f x)
+  done
+
+let test ?cases ?seed ?show name gen prop =
+  Alcotest.test_case name `Quick (fun () -> check ?cases ?seed ?show name gen prop)

@@ -295,21 +295,48 @@ let point_equal (p : Campaign.point) (q : Campaign.point) =
      || (Float.is_nan p.Campaign.mean_error && Float.is_nan q.Campaign.mean_error))
   && p.Campaign.any_fault_possible = q.Campaign.any_fault_possible
 
+(* Runs [f] with observability counters reset + enabled and returns
+   (result, det signature of the work done). The first call warms the
+   campaign's reference-cycle cache outside the measured region so the
+   hit/miss counters are identical across compared runs. *)
+let with_obs_signature f =
+  Sfi_obs.reset ();
+  Sfi_obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Sfi_obs.set_enabled false)
+    (fun () ->
+      let r = f () in
+      (r, Sfi_obs.det_signature ()))
+
 let test_campaign_jobs_determinism () =
   let bench = Lazy.force small_median in
   let model = model_c 0.010 in
+  (* Warm the reference-cycle cache so both instrumented runs see the
+     same cache hit/miss counts. *)
+  ignore (Campaign.run_point ~trials:1 ~bench ~model ~freq_mhz:900. ());
   List.iter
     (fun seed ->
       List.iter
         (fun freq_mhz ->
-          let serial =
-            Campaign.run_point ~trials:10 ~seed ~jobs:1 ~bench ~model ~freq_mhz ()
+          let serial, sig1 =
+            with_obs_signature (fun () ->
+                Campaign.run_point ~trials:10 ~seed ~jobs:1 ~bench ~model ~freq_mhz ())
           in
-          let pooled =
-            Campaign.run_point ~trials:10 ~seed ~jobs:4 ~bench ~model ~freq_mhz ()
+          let pooled, sig4 =
+            with_obs_signature (fun () ->
+                Campaign.run_point ~trials:10 ~seed ~jobs:4 ~bench ~model ~freq_mhz ())
           in
           if not (point_equal serial pooled) then
-            Alcotest.failf "jobs=1 vs jobs=4 differ at seed %d, %.0f MHz" seed freq_mhz)
+            Alcotest.failf "jobs=1 vs jobs=4 differ at seed %d, %.0f MHz" seed freq_mhz;
+          (* The merged observability counters must agree too: same
+             events, settles, attempts, faults — only wall-clock spans
+             and scheduling counters (both excluded from the signature)
+             may differ. *)
+          List.iter2
+            (fun (n1, v1) (n4, v4) ->
+              if n1 <> n4 || v1 <> v4 then
+                Alcotest.failf "obs %s diverged at seed %d, %.0f MHz" n1 seed freq_mhz)
+            sig1 sig4)
         [ 900.; 980. ])
     [ 1; 7; 42 ]
 
@@ -317,14 +344,22 @@ let test_campaign_sweep_jobs_determinism () =
   let bench = Lazy.force small_median in
   let model = model_c 0.010 in
   let freqs = [ 880.; 940.; 1000. ] in
-  let serial = Campaign.sweep ~trials:6 ~seed:5 ~jobs:1 ~bench ~model ~freqs_mhz:freqs () in
-  let pooled = Campaign.sweep ~trials:6 ~seed:5 ~jobs:4 ~bench ~model ~freqs_mhz:freqs () in
+  ignore (Campaign.run_point ~trials:1 ~bench ~model ~freq_mhz:880. ());
+  let serial, sig1 =
+    with_obs_signature (fun () ->
+        Campaign.sweep ~trials:6 ~seed:5 ~jobs:1 ~bench ~model ~freqs_mhz:freqs ())
+  in
+  let pooled, sig4 =
+    with_obs_signature (fun () ->
+        Campaign.sweep ~trials:6 ~seed:5 ~jobs:4 ~bench ~model ~freqs_mhz:freqs ())
+  in
   Alcotest.(check int) "same length" (List.length serial) (List.length pooled);
   List.iter2
     (fun p q ->
       if not (point_equal p q) then
         Alcotest.failf "sweep points differ at %.0f MHz" p.Campaign.freq_mhz)
-    serial pooled
+    serial pooled;
+  Alcotest.(check bool) "merged obs signatures identical" true (sig1 = sig4)
 
 let test_campaign_sweep_shape () =
   let points =

@@ -1,0 +1,208 @@
+(* Property-based suites over the numeric substrate, driven by the
+   minimal seeded helper in [Prop]. Each property states an oracle —
+   a sorted reference, a monotonicity law, or Int64 arithmetic — and
+   runs a few hundred random cases against it. *)
+
+open Sfi_util
+
+(* ---------- Min_heap: pop order vs sorted reference ---------- *)
+
+let heap_keys = Prop.array ~min_len:0 ~max_len:300 (Prop.float ~lo:0. ~hi:1e6)
+
+let drain_floats h =
+  let out = ref [] in
+  let rec go () =
+    let p = Min_heap.pop_unsafe h in
+    if p <> Min_heap.no_event then begin
+      out := Min_heap.float_of_key (Min_heap.popped_key h) :: !out;
+      go ()
+    end
+  in
+  go ();
+  Array.of_list (List.rev !out)
+
+let prop_heap_pop_order =
+  Prop.test "pop order matches sorted reference" heap_keys (fun xs ->
+      let h = Min_heap.create () in
+      Array.iteri (fun i x -> Min_heap.push_key h (Min_heap.key_of_float x) i) xs;
+      let sorted = Array.copy xs in
+      Array.sort compare sorted;
+      drain_floats h = sorted)
+
+let prop_heap_interleaved =
+  (* Random push/pop interleaving never pops out of order w.r.t. the
+     keys present at pop time, and ends empty after draining. *)
+  Prop.test "interleaved push/pop stays ordered"
+    (Prop.list ~min_len:1 ~max_len:200
+       (Prop.pair Prop.bool (Prop.float ~lo:0. ~hi:1e6)))
+    (fun ops ->
+      let h = Min_heap.create () in
+      let ok = ref true in
+      let last_popped = ref neg_infinity in
+      List.iter
+        (fun (push, x) ->
+          if push then begin
+            Min_heap.push_key h (Min_heap.key_of_float x) 0;
+            (* a push can only lower the minimum, never violate order *)
+            last_popped := neg_infinity
+          end
+          else if Min_heap.pop_unsafe h <> Min_heap.no_event then begin
+            let v = Min_heap.float_of_key (Min_heap.popped_key h) in
+            if v < !last_popped then ok := false;
+            last_popped := v
+          end)
+        ops;
+      ignore (drain_floats h);
+      !ok && Min_heap.is_empty h)
+
+let prop_heap_peek =
+  Prop.test "peek equals subsequent pop"
+    (Prop.array ~min_len:1 ~max_len:64 (Prop.float ~lo:0. ~hi:1e6))
+    (fun xs ->
+      let h = Min_heap.create () in
+      Array.iter (fun x -> Min_heap.push h x 0) xs;
+      match Min_heap.peek_key h with
+      | None -> false
+      | Some k -> (
+        match Min_heap.pop h with Some (k', _) -> k = k' | None -> false))
+
+(* ---------- Cdf: monotonicity and quantile/probability roundtrip ---------- *)
+
+let cdf_samples = Prop.array ~min_len:1 ~max_len:150 (Prop.float ~lo:0. ~hi:1000.)
+
+let prop_cdf_monotone =
+  Prop.test "prob_greater is non-increasing"
+    (Prop.triple cdf_samples (Prop.float ~lo:(-10.) ~hi:1010.)
+       (Prop.float ~lo:(-10.) ~hi:1010.))
+    (fun (xs, x1, x2) ->
+      let t = Sfi_timing.Cdf.of_samples xs in
+      let lo = Float.min x1 x2 and hi = Float.max x1 x2 in
+      Sfi_timing.Cdf.prob_greater t lo >= Sfi_timing.Cdf.prob_greater t hi)
+
+let prop_cdf_quantile_roundtrip =
+  Prop.test "prob_leq (quantile q) >= q"
+    (Prop.pair cdf_samples (Prop.float ~lo:0. ~hi:1.))
+    (fun (xs, q) ->
+      let t = Sfi_timing.Cdf.of_samples xs in
+      Sfi_timing.Cdf.prob_leq t (Sfi_timing.Cdf.quantile t q) >= q -. 1e-12)
+
+let prop_cdf_quantile_monotone =
+  Prop.test "quantile is non-decreasing in q"
+    (Prop.triple cdf_samples (Prop.float ~lo:0. ~hi:1.) (Prop.float ~lo:0. ~hi:1.))
+    (fun (xs, q1, q2) ->
+      let t = Sfi_timing.Cdf.of_samples xs in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Sfi_timing.Cdf.quantile t lo <= Sfi_timing.Cdf.quantile t hi)
+
+let prop_cdf_bounds =
+  Prop.test "quantile stays within sample range" cdf_samples (fun xs ->
+      let t = Sfi_timing.Cdf.of_samples xs in
+      let q0 = Sfi_timing.Cdf.quantile t 0. and q1 = Sfi_timing.Cdf.quantile t 1. in
+      Sfi_timing.Cdf.min_value t <= q0 && q1 <= Sfi_timing.Cdf.max_value t)
+
+(* ---------- Interp: monotone curves invert exactly ---------- *)
+
+(* Strictly increasing anchors with slopes bounded away from zero, so the
+   inverse is well-conditioned and a tight tolerance is honest. *)
+let mono_curve rng =
+  let n = Prop.int ~lo:2 ~hi:12 rng in
+  let x = ref (Prop.float ~lo:0. ~hi:5. rng) in
+  let y = ref (Prop.float ~lo:0. ~hi:5. rng) in
+  List.init n (fun _ ->
+      let px = !x and py = !y in
+      x := !x +. 0.5 +. Prop.float ~lo:0. ~hi:10. rng;
+      y := !y +. 0.5 +. Prop.float ~lo:0. ~hi:10. rng;
+      (px, py))
+
+let prop_interp_monotone =
+  Prop.test "eval preserves monotonicity"
+    (Prop.triple mono_curve (Prop.float ~lo:0. ~hi:1.) (Prop.float ~lo:0. ~hi:1.))
+    (fun (pts, u1, u2) ->
+      let t = Interp.of_points pts in
+      let x0 = fst (List.hd pts) and x1 = fst (List.nth pts (List.length pts - 1)) in
+      let at u = x0 +. (u *. (x1 -. x0)) in
+      let lo = Float.min u1 u2 and hi = Float.max u1 u2 in
+      Interp.eval t (at lo) <= Interp.eval t (at hi) +. 1e-9)
+
+let prop_interp_inverse_roundtrip =
+  Prop.test "inverse_eval (eval x) = x"
+    (Prop.pair mono_curve (Prop.float ~lo:0. ~hi:1.))
+    (fun (pts, u) ->
+      let t = Interp.of_points pts in
+      let x0 = fst (List.hd pts) and x1 = fst (List.nth pts (List.length pts - 1)) in
+      let x = x0 +. (u *. (x1 -. x0)) in
+      Float.abs (Interp.inverse_eval t (Interp.eval t x) -. x) < 1e-6)
+
+let prop_interp_anchors_exact =
+  Prop.test "eval hits every anchor" mono_curve (fun pts ->
+      let t = Interp.of_points pts in
+      List.for_all (fun (x, y) -> Float.abs (Interp.eval t x -. y) < 1e-9) pts)
+
+(* ---------- U32 vs Int64 oracle ---------- *)
+
+let m32 = 0xFFFF_FFFFL
+let to64 = Int64.of_int
+let of64 v = Int64.to_int (Int64.logand v m32)
+let ab = Prop.pair Prop.u32 Prop.u32
+
+let prop_u32_add =
+  Prop.test "add matches Int64" ab (fun (a, b) ->
+      U32.add a b = of64 (Int64.add (to64 a) (to64 b)))
+
+let prop_u32_sub =
+  Prop.test "sub matches Int64" ab (fun (a, b) ->
+      U32.sub a b = of64 (Int64.sub (to64 a) (to64 b)))
+
+let prop_u32_mul =
+  Prop.test "mul matches Int64" ab (fun (a, b) ->
+      U32.mul a b = of64 (Int64.mul (to64 a) (to64 b)))
+
+let prop_u32_logic =
+  Prop.test "and/or/xor/not match Int64" ab (fun (a, b) ->
+      U32.logand a b = of64 (Int64.logand (to64 a) (to64 b))
+      && U32.logor a b = of64 (Int64.logor (to64 a) (to64 b))
+      && U32.logxor a b = of64 (Int64.logxor (to64 a) (to64 b))
+      && U32.lognot a = of64 (Int64.lognot (to64 a)))
+
+let prop_u32_shifts =
+  (* Shift amounts reduce modulo 32 (the OR1K barrel shifter). *)
+  Prop.test "shifts match Int64 modulo 32"
+    (Prop.pair Prop.u32 (Prop.int ~lo:0 ~hi:63))
+    (fun (a, s) ->
+      let s' = s land 31 in
+      U32.shift_left a s = of64 (Int64.shift_left (to64 a) s')
+      && U32.shift_right_logical a s = of64 (Int64.shift_right_logical (to64 a) s')
+      && U32.shift_right_arith a s
+         = of64 (Int64.shift_right (Int64.of_int32 (Int64.to_int32 (to64 a))) s'))
+
+let prop_u32_signed_roundtrip =
+  Prop.test "of_signed (to_signed x) = x" Prop.u32 (fun a ->
+      U32.of_signed (U32.to_signed a) = a
+      && U32.to_signed a = Int64.to_int (Int64.of_int32 (Int64.to_int32 (to64 a))))
+
+let prop_u32_popcount =
+  Prop.test "popcount matches bit fold" Prop.u32 (fun a ->
+      let n = ref 0 in
+      for i = 0 to 31 do
+        if U32.bit a i then incr n
+      done;
+      U32.popcount a = !n)
+
+let () =
+  Alcotest.run "sfi_prop"
+    [
+      ("min_heap", [ prop_heap_pop_order; prop_heap_interleaved; prop_heap_peek ]);
+      ( "cdf",
+        [
+          prop_cdf_monotone; prop_cdf_quantile_roundtrip; prop_cdf_quantile_monotone;
+          prop_cdf_bounds;
+        ] );
+      ( "interp",
+        [ prop_interp_monotone; prop_interp_inverse_roundtrip; prop_interp_anchors_exact ]
+      );
+      ( "u32",
+        [
+          prop_u32_add; prop_u32_sub; prop_u32_mul; prop_u32_logic; prop_u32_shifts;
+          prop_u32_signed_roundtrip; prop_u32_popcount;
+        ] );
+    ]

@@ -134,6 +134,36 @@ let test_stats_ci () =
   check_float "mean" 1. m;
   check_float "halfwidth" 0. hw
 
+(* Degenerate inputs: every summary is total, so `sfi stats` and the
+   campaign tables never raise on an empty or single-sample column. *)
+let test_stats_empty_totals () =
+  Alcotest.(check bool) "median nan" true (Float.is_nan (Stats.median [||]));
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (Stats.percentile [||] 50.));
+  let lo, hi = Stats.min_max [||] in
+  Alcotest.(check bool) "min nan" true (Float.is_nan lo);
+  Alcotest.(check bool) "max nan" true (Float.is_nan hi);
+  let h = Stats.histogram ~bins:3 [||] in
+  Alcotest.(check (array int)) "all-zero counts" [| 0; 0; 0 |] h.Stats.counts;
+  check_float "lo zero" 0. h.Stats.lo;
+  check_float "hi zero" 0. h.Stats.hi
+
+let test_stats_singleton_totals () =
+  check_float "median" 7. (Stats.median [| 7. |]);
+  (* Any percentile of one sample is that sample — no nan rank math. *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%.0f" p) 7. (Stats.percentile [| 7. |] p))
+    [ 0.; 10.; 50.; 95.; 100. ];
+  let lo, hi = Stats.min_max [| 7. |] in
+  check_float "min" 7. lo;
+  check_float "max" 7. hi;
+  let h = Stats.histogram ~bins:2 [| 7. |] in
+  Alcotest.(check (array int)) "single sample lands once" [| 1; 0 |] h.Stats.counts
+
+let test_stats_percentile_clamps () =
+  let xs = [| 1.; 2.; 3. |] in
+  check_float "p<0 clamps" 1. (Stats.percentile xs (-5.));
+  check_float "p>100 clamps" 3. (Stats.percentile xs 140.)
+
 (* ---------- Interp ---------- *)
 
 let test_interp_eval () =
@@ -413,6 +443,10 @@ let () =
           Alcotest.test_case "fraction" `Quick test_stats_fraction;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "ci95" `Quick test_stats_ci;
+          Alcotest.test_case "empty inputs are total" `Quick test_stats_empty_totals;
+          Alcotest.test_case "singleton inputs are total" `Quick
+            test_stats_singleton_totals;
+          Alcotest.test_case "percentile clamps p" `Quick test_stats_percentile_clamps;
         ] );
       ( "interp",
         [
