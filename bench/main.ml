@@ -307,6 +307,47 @@ let parallel_smoke () =
     parallel_wall_s;
   }
 
+(* ---------- cache round-trip: cold vs warm characterization ---------- *)
+
+type cache_rt = {
+  cache_entries : int;
+  cold_wall_s : float;
+  warm_wall_s : float;
+}
+
+(* Cold-vs-warm wall time of the persistent characterization cache: two
+   identical flows time [Flow.char_db] against an empty and then a
+   populated cache directory. The warm run must load instead of
+   recompute — a collapse of the speedup here means the content
+   fingerprint went unstable between identical runs. *)
+let cache_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sfi-bench-cache.%d" (Unix.getpid ()))
+  in
+  Sfi_cache.set_dir (Some dir);
+  let time_char () =
+    (* A fresh flow each time: the in-memory memo must not serve the
+       warm run — only the disk store may. *)
+    let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 1500 } () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Flow.char_db flow ~vdd:0.7);
+    Unix.gettimeofday () -. t0
+  in
+  let cold_wall_s = time_char () in
+  let warm_wall_s = time_char () in
+  let cache_entries = List.length (Sfi_cache.scan ~dir) in
+  ignore (Sfi_cache.prune ~all:true ~dir () : int);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> () | Sys_error _ -> ());
+  Sfi_cache.set_dir None;
+  Printf.printf
+    "cache roundtrip: cold %.2f s, warm %.2f s (%.1fx), %d entr%s\n%!"
+    cold_wall_s warm_wall_s
+    (cold_wall_s /. Float.max 1e-9 warm_wall_s)
+    cache_entries
+    (if cache_entries = 1 then "y" else "ies");
+  { cache_entries; cold_wall_s; warm_wall_s }
+
 (* ---------- BENCH.json ---------- *)
 
 let json_escape s =
@@ -322,11 +363,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf =
+let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/3\",\n";
+  add "  \"schema\": \"sfi-bench/4\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -355,6 +396,14 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf =
       "  \"perf\": {\"events_per_sec\": %.0f, \"insns_per_sec\": %.0f, \
        \"characterize_wall_s\": %.3f, \"campaign_wall_s\": %.3f},\n"
       p.events_per_sec p.insns_per_sec p.characterize_wall_s p.campaign_wall_s);
+  (match cache with
+  | None -> add "  \"cache\": null,\n"
+  | Some c ->
+    add
+      "  \"cache\": {\"entries\": %d, \"cold_wall_s\": %.3f, \"warm_wall_s\": %.3f, \
+       \"speedup\": %.2f},\n"
+      c.cache_entries c.cold_wall_s c.warm_wall_s
+      (c.cold_wall_s /. Float.max 1e-9 c.warm_wall_s));
   (match smoke with
   | None -> add "  \"parallel_smoke\": null\n"
   | Some s ->
@@ -410,7 +459,7 @@ let () =
   if smoke_only then begin
     let smoke = parallel_smoke () in
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
-      ~smoke:(Some smoke) ~perf:None
+      ~smoke:(Some smoke) ~perf:None ~cache:None
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
@@ -426,11 +475,12 @@ let () =
     in
     let bech_rows = if not skip_bechamel then bechamel_suite () else [] in
     let perf = if bechamel_only then None else Some (perf_metrics ()) in
+    let cache = if bechamel_only then None else Some (cache_roundtrip ()) in
     let smoke = parallel_smoke () in
     (match perf with
     | Some p -> p.campaign_wall_s <- smoke.serial_wall_s
     | None -> ());
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
-      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf
+      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache
   end

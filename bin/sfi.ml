@@ -55,6 +55,19 @@ let with_obs obs f =
     Printf.printf "wrote %s\n" path);
   r
 
+(* Shared --cache-dir option: enables the persistent on-disk cache for
+   characterization databases and reference cycle counts. Off unless
+   given here or through SFI_CACHE_DIR. *)
+let cache_dir_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist characterization databases and benchmark reference cycle \
+                 counts under $(docv) and reuse matching entries on later runs \
+                 (default: \\$SFI_CACHE_DIR, else disabled).")
+
+let apply_cache_dir dir = Option.iter (fun d -> Sfi_cache.set_dir (Some d)) dir
+
 (* ---------- sfi experiments ---------- *)
 
 let experiments_cmd =
@@ -65,13 +78,14 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only jobs obs =
+  let run ids paper list_only jobs obs cache_dir =
     if list_only then
       List.iter
         (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
         Sfi_core.Experiments.all
     else begin
       apply_jobs jobs;
+      apply_cache_dir cache_dir;
       with_obs obs @@ fun () ->
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
       let ctx = Sfi_core.Experiments.make_ctx scale in
@@ -80,7 +94,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg)
+    Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg $ cache_dir_arg)
 
 (* ---------- sfi flow ---------- *)
 
@@ -89,7 +103,9 @@ let flow_cmd =
     Arg.(value & opt int 2000 & info [ "cycles" ] ~doc:"DTA characterization cycles.")
   in
   let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ] ~doc:"Characterization voltage.") in
-  let run char_cycles vdd =
+  let run char_cycles vdd obs cache_dir =
+    apply_cache_dir cache_dir;
+    with_obs obs @@ fun () ->
     let config = { Sfi_core.Flow.default_config with Sfi_core.Flow.char_cycles } in
     let flow = Sfi_core.Flow.create ~config () in
     ignore (Sfi_core.Flow.char_db flow ~vdd);
@@ -104,7 +120,7 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Build the gate-level flow and print its timing summary.")
-    Term.(const run $ char_cycles $ vdd)
+    Term.(const run $ char_cycles $ vdd $ obs_arg $ cache_dir_arg)
 
 (* ---------- sfi asm ---------- *)
 
@@ -197,8 +213,10 @@ let campaign_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
   in
-  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs obs =
+  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs obs
+      cache_dir =
     apply_jobs jobs;
+    apply_cache_dir cache_dir;
     with_obs obs @@ fun () ->
     match Sfi_kernels.Registry.by_name bench_name with
     | None ->
@@ -264,7 +282,7 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
-          $ prob $ char_cycles $ csv $ jobs_arg $ obs_arg)
+          $ prob $ char_cycles $ csv $ jobs_arg $ obs_arg $ cache_dir_arg)
 
 (* ---------- sfi stats ---------- *)
 
@@ -407,6 +425,86 @@ let stats_cmd =
        ~doc:"Summarize an observability snapshot written by campaign/experiments --obs.")
     Term.(const run $ file)
 
+(* ---------- sfi cache ---------- *)
+
+let cache_cmds =
+  let resolve dir =
+    match (match dir with Some _ -> dir | None -> Sfi_cache.dir ()) with
+    | Some d -> d
+    | None ->
+      prerr_endline "sfi cache: no cache directory (use --cache-dir or set SFI_CACHE_DIR)";
+      exit 2
+  in
+  let dir_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Cache directory to operate on (default: \\$SFI_CACHE_DIR).")
+  in
+  let ls_cmd =
+    let run dir =
+      let dir = resolve dir in
+      let entries = Sfi_cache.scan ~dir in
+      let t =
+        Sfi_util.Table.create ~title:(Printf.sprintf "cache %s" dir)
+          [ ("namespace", Sfi_util.Table.Left); ("key", Sfi_util.Table.Left);
+            ("bytes", Sfi_util.Table.Right); ("status", Sfi_util.Table.Left) ]
+      in
+      List.iter
+        (fun (e : Sfi_cache.entry_info) ->
+          Sfi_util.Table.add_row t
+            [ (if e.Sfi_cache.namespace = "" then "?" else e.Sfi_cache.namespace);
+              (if e.Sfi_cache.key = "" then e.Sfi_cache.file else e.Sfi_cache.key);
+              string_of_int e.Sfi_cache.bytes;
+              (if e.Sfi_cache.valid then "ok" else "INVALID: " ^ e.Sfi_cache.reason) ])
+        entries;
+      Sfi_util.Table.print t;
+      Printf.printf "%d entries, %d invalid\n" (List.length entries)
+        (List.length (List.filter (fun e -> not e.Sfi_cache.valid) entries))
+    in
+    Cmd.v (Cmd.info "ls" ~doc:"List cache entries and their validation status.")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let dir = resolve dir in
+      let entries = Sfi_cache.scan ~dir in
+      let bad = List.filter (fun (e : Sfi_cache.entry_info) -> not e.Sfi_cache.valid) entries in
+      List.iter
+        (fun (e : Sfi_cache.entry_info) ->
+          Printf.printf "INVALID %s: %s\n" e.Sfi_cache.file e.Sfi_cache.reason)
+        bad;
+      Printf.printf "%d entries checked, %d invalid\n" (List.length entries) (List.length bad);
+      if bad <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Validate every entry (magic, version, CRC-32); exit 1 if any is corrupt.")
+      Term.(const run $ dir_arg)
+  in
+  let prune_cmd =
+    let all = Arg.(value & flag & info [ "all" ] ~doc:"Remove every entry.") in
+    let max_age =
+      Arg.(value
+           & opt (some float) None
+           & info [ "max-age-days" ] ~docv:"DAYS" ~doc:"Also remove entries older than $(docv).")
+    in
+    let run dir all max_age =
+      let dir = resolve dir in
+      let removed = Sfi_cache.prune ?max_age_days:max_age ~all ~dir () in
+      Printf.printf "pruned %d entr%s from %s\n" removed
+        (if removed = 1 then "y" else "ies")
+        dir
+    in
+    Cmd.v
+      (Cmd.info "prune"
+         ~doc:"Remove invalid entries, stale temp files, and optionally old or all entries.")
+      Term.(const run $ dir_arg $ all $ max_age)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and maintain the persistent characterization cache.")
+    [ ls_cmd; verify_cmd; prune_cmd ]
+
 (* ---------- sfi verilog ---------- *)
 
 let verilog_cmd =
@@ -485,7 +583,7 @@ let main =
        ~doc:
          "Statistical fault injection for impact-evaluation of timing errors (DAC'16 \
           reproduction).")
-    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; stats_cmd; verilog_cmd;
-      paths_cmd; trace_cmd ]
+    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; stats_cmd; cache_cmds;
+      verilog_cmd; paths_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

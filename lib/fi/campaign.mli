@@ -39,6 +39,15 @@ type point = {
   any_fault_possible : bool;
 }
 
+val reference_cycles : Bench.t -> int
+(** The benchmark's fault-free cycle count, used for watchdog budgets.
+    Memoized per benchmark name for the process lifetime; when the
+    persistent cache is enabled ({!Sfi_cache.set_dir} or
+    [SFI_CACHE_DIR]), the count is additionally stored on disk in the
+    ["refcycles"] namespace, keyed by the program image, memory
+    geometry and pipeline penalty constants (not the name — identical
+    images share an entry). *)
+
 val run_trial :
   bench:Bench.t -> model:Model.t -> freq_mhz:float -> seed:int -> trial
 (** One simulation with its own RNG stream; watchdog set to 3x the

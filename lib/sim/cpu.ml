@@ -123,8 +123,12 @@ let run ?(config = default_config) mem ~entry =
       d
   in
   let invalidate addr =
-    let idx = addr lsr 2 in
-    if idx >= 0 && idx < Array.length st.decode_cache then st.decode_cache.(idx) <- None
+    (* Wrap with the SRAM decoder mask exactly like the data path: a
+       store through a fault-corrupted high-bit pointer clobbers the
+       same wrapped location [Memory.write_u32] wrote, so its cached
+       decode must be dropped, not skipped as "out of range". *)
+    let idx = (addr land (Memory.size st.mem - 1)) lsr 2 in
+    st.decode_cache.(idx) <- None
   in
   let alu_result cls a b =
     let clean = Op_class.apply cls a b in

@@ -3,7 +3,11 @@ type t = float array (* sorted ascending *)
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty";
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  (* A NaN sample would sort to an arbitrary position under any
+     comparator and silently poison every quantile/probability query
+     downstream; fail loudly instead. *)
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg "Cdf.of_samples: NaN sample") ys;
+  Array.sort Float.compare ys;
   ys
 
 let n t = Array.length t

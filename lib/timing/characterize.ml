@@ -26,9 +26,15 @@ let uniform8 =
 
 let obs_runs = Sfi_obs.Counter.make "characterize.runs"
 
-let obs_classes = Sfi_obs.Counter.make "characterize.classes"
+(* One trial = one randomized-operand DTA cycle. [classes] and [trials]
+   count the gate-level Monte-Carlo work actually performed, so a run
+   served whole from the persistent cache leaves both at zero — they
+   depend on disk state, hence ~det:false (excluded from the
+   determinism signature, which must match between cold and warm runs).
+   [runs] counts requests and stays deterministic. *)
+let obs_classes = Sfi_obs.Counter.make ~det:false "characterize.classes"
 
-let obs_cycles = Sfi_obs.Counter.make "characterize.cycles"
+let obs_trials = Sfi_obs.Counter.make ~det:false "characterize.trials"
 
 let obs_wall = Sfi_obs.Span.make "characterize.wall"
 
@@ -50,7 +56,7 @@ type t = {
 
 let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) cls =
   Sfi_obs.Counter.incr obs_classes;
-  Sfi_obs.Counter.add obs_cycles cycles;
+  Sfi_obs.Counter.add obs_trials cycles;
   let dta = Dta.create ~vdd ~vdd_model ~lib alu.Alu.circuit in
   (* Select the class once; the select settling cycle is not recorded. *)
   Array.iter
@@ -91,12 +97,45 @@ let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) 
     max_settle = !max_settle;
   }
 
-let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
-    ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
-    ?(profile_for = fun _ -> uniform32) ?jobs ~vdd (alu : Alu.t) =
-  if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
-  Sfi_obs.Counter.incr obs_runs;
-  Sfi_obs.Span.time obs_wall @@ fun () ->
+(* Content fingerprint of everything the characterization result depends
+   on. The circuit's [base_delay] array already folds in sizing, process
+   variation and corner scaling, so the netlist structure plus delays
+   plus the run parameters determine the database bit-for-bit. *)
+let fingerprint ~cycles ~seed ~setup_ps ~vdd_model ~lib
+    ~(profile_for : Op_class.t -> operand_profile) ~vdd (alu : Alu.t) =
+  let c = alu.Alu.circuit in
+  let fp = Sfi_cache.Fingerprint.create "sfi-chardb/1" in
+  let open Sfi_cache.Fingerprint in
+  add_int fp c.Circuit.n_nets;
+  add_int_array fp c.Circuit.kind_code;
+  add_int_array fp c.Circuit.gate_out;
+  add_int_array fp c.Circuit.fanin_off;
+  add_int_array fp c.Circuit.fanin_net;
+  add_float_array fp c.Circuit.base_delay;
+  Array.iter
+    (fun (name, net) ->
+      add_string fp name;
+      add_int fp net)
+    c.Circuit.pis;
+  Array.iter
+    (fun (name, net) ->
+      add_string fp name;
+      add_int fp net)
+    c.Circuit.pos;
+  add_string fp (Cell_lib.to_text lib);
+  List.iter
+    (fun (v, d) ->
+      add_float fp v;
+      add_float fp d)
+    (Vdd_model.anchors vdd_model);
+  add_float fp vdd;
+  add_float fp setup_ps;
+  add_int fp cycles;
+  add_int fp seed;
+  List.iter (fun cls -> add_string fp (profile_for cls).profile_name) Op_class.all;
+  hex fp
+
+let compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu =
   let root = Rng.of_int seed in
   (* Split the per-class RNGs from the root seed in class order before
      dispatch; each class then runs on its own Dta.t instance, so the
@@ -116,6 +155,37 @@ let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
     Array.fold_left (fun acc (c : class_db) -> Float.max acc c.max_settle) 0. classes
   in
   { vdd; setup_ps; cycles; classes; max_settle }
+
+let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
+    ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
+    ?(profile_for = fun _ -> uniform32) ?jobs ~vdd (alu : Alu.t) =
+  if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
+  Sfi_obs.Counter.incr obs_runs;
+  Sfi_obs.Span.time obs_wall @@ fun () ->
+  let key =
+    if Sfi_cache.enabled () then
+      Some (fingerprint ~cycles ~seed ~setup_ps ~vdd_model ~lib ~profile_for ~vdd alu)
+    else None
+  in
+  let cached =
+    match key with
+    | None -> None
+    | Some key -> (
+        match (Sfi_cache.load ~namespace:"chardb" ~key : t option) with
+        | Some t
+          when t.vdd = vdd && t.cycles = cycles
+               && Array.length t.classes = List.length Op_class.all ->
+            Some t
+        | _ -> None)
+  in
+  match cached with
+  | Some t -> t
+  | None ->
+      let t = compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu in
+      (match key with
+      | Some key -> Sfi_cache.store ~namespace:"chardb" ~key t
+      | None -> ());
+      t
 
 let class_db t cls = t.classes.(Op_class.index cls)
 

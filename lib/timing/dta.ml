@@ -38,17 +38,19 @@ type t = {
 (* Observability: the hot loops accumulate into the plain int fields
    above (one predictable add, no flag test); [cycle] flushes the deltas
    to the registry once per generation bump. All four counts are pure
-   functions of the stimulus, so they are deterministic across job
-   counts. *)
-let obs_events = Sfi_obs.Counter.make "dta.events"
+   functions of the stimulus — but how much stimulus the DTA sees at all
+   depends on whether the persistent characterization cache served the
+   caller from disk, so they count work performed, not work requested:
+   [~det:false], excluded from the determinism signature. *)
+let obs_events = Sfi_obs.Counter.make ~det:false "dta.events"
 
-let obs_settles = Sfi_obs.Counter.make "dta.settles"
+let obs_settles = Sfi_obs.Counter.make ~det:false "dta.settles"
 
-let obs_coalesced = Sfi_obs.Counter.make "dta.coalesced"
+let obs_coalesced = Sfi_obs.Counter.make ~det:false "dta.coalesced"
 
-let obs_cycles = Sfi_obs.Counter.make "dta.cycles"
+let obs_cycles = Sfi_obs.Counter.make ~det:false "dta.cycles"
 
-let obs_events_per_cycle = Sfi_obs.Hist.make "dta.events_per_cycle"
+let obs_events_per_cycle = Sfi_obs.Hist.make ~det:false "dta.events_per_cycle"
 
 let create ?(vdd = Vdd_model.nominal_voltage) ?(vdd_model = Vdd_model.default)
     ?(lib = Cell_lib.default) (c : Circuit.t) =

@@ -10,7 +10,10 @@ let obs_tasks = Sfi_obs.Counter.make ~det:false "pool.tasks"
 
 let obs_caller_drained = Sfi_obs.Counter.make ~det:false "pool.caller_drained"
 
-let obs_map_items = Sfi_obs.Counter.make "pool.map_items"
+(* Item counts are independent of the job count, but phases served from
+   the persistent result cache (Sfi_cache) skip their pool fan-out
+   entirely, so the count reflects work performed, not requested. *)
+let obs_map_items = Sfi_obs.Counter.make ~det:false "pool.map_items"
 
 type t = {
   jobs : int;

@@ -39,9 +39,13 @@ let shift_right_arith a n =
 
 let bit x i = (x lsr i) land 1 = 1
 
-let set_bit x i v = if v then x lor (1 lsl i) else x land lnot (1 lsl i) land mask
+(* Both must mask their result: an index >= 32 or a mask wider than 32
+   bits would otherwise escape the [0, 2^32) domain and break the
+   to_signed/comparison invariants every other operation maintains. *)
+let set_bit x i v =
+  if v then (x lor (1 lsl i)) land mask else x land lnot (1 lsl i) land mask
 
-let flip_bits x ~mask:m = x lxor m
+let flip_bits x ~mask:m = x lxor (m land mask)
 
 let popcount x =
   let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in

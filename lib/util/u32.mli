@@ -39,8 +39,12 @@ val bit : t -> int -> bool
 (** [bit x i] is bit [i] (0 = LSB). *)
 
 val set_bit : t -> int -> bool -> t
+(** Bit indices [>= 32] address outside the word and leave it
+    unchanged (the result is always canonical). *)
+
 val flip_bits : t -> mask:t -> t
-(** XOR with a fault mask. *)
+(** XOR with a fault mask. The mask is truncated to 32 bits first, so
+    the result stays canonical even for an over-wide mask. *)
 
 val popcount : t -> int
 

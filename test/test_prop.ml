@@ -188,6 +188,54 @@ let prop_u32_popcount =
       done;
       U32.popcount a = !n)
 
+(* ---------- U32 domain closure: every op stays in [0, 2^32) ---------- *)
+
+let in_domain x = 0 <= x && x <= U32.mask
+
+(* Masks up to 52 bits — well past the 32-bit boundary an injected
+   address fault can push a mask computation over. *)
+let wide_mask rng =
+  let hi = Prop.u32 rng and lo = Prop.u32 rng in
+  (hi lsl 20) lor lo
+
+(* Adversarial bit indices (up to 62: the largest the native-int shift
+   tolerates) and fault masks wider than 32 bits — the inputs an injected
+   address fault actually produces. *)
+let prop_u32_set_bit_domain =
+  Prop.test "set_bit stays in domain; >=32 is identity"
+    (Prop.triple Prop.u32 (Prop.int ~lo:0 ~hi:62) Prop.bool)
+    (fun (a, i, v) ->
+      let r = U32.set_bit a i v in
+      in_domain r
+      && (if i < 32 then
+            r
+            = of64
+                (if v then Int64.logor (to64 a) (Int64.shift_left 1L i)
+                 else Int64.logand (to64 a) (Int64.lognot (Int64.shift_left 1L i)))
+          else r = a))
+
+let prop_u32_flip_bits_domain =
+  Prop.test "flip_bits with wide mask = xor with truncated mask"
+    (Prop.pair Prop.u32 wide_mask)
+    (fun (a, m) ->
+      let r = U32.flip_bits a ~mask:m in
+      in_domain r && r = U32.logxor a (U32.of_int m))
+
+let prop_u32_closure =
+  (* Every exported operation is closed over the canonical range, even
+     under adversarial shift amounts, bit indices and masks. *)
+  Prop.test "all ops closed over [0, 2^32)"
+    (Prop.triple ab (Prop.int ~lo:0 ~hi:62) wide_mask)
+    (fun ((a, b), s, m) ->
+      List.for_all in_domain
+        [
+          U32.add a b; U32.sub a b; U32.mul a b; U32.logand a b; U32.logor a b;
+          U32.logxor a b; U32.lognot a; U32.shift_left a s;
+          U32.shift_right_logical a s; U32.shift_right_arith a s;
+          U32.set_bit a s true; U32.set_bit a s false; U32.flip_bits a ~mask:m;
+          U32.of_int m; U32.of_signed (U32.to_signed a); U32.sext ~bits:32 m;
+        ])
+
 let () =
   Alcotest.run "sfi_prop"
     [
@@ -203,6 +251,7 @@ let () =
       ( "u32",
         [
           prop_u32_add; prop_u32_sub; prop_u32_mul; prop_u32_logic; prop_u32_shifts;
-          prop_u32_signed_roundtrip; prop_u32_popcount;
+          prop_u32_signed_roundtrip; prop_u32_popcount; prop_u32_set_bit_domain;
+          prop_u32_flip_bits_domain; prop_u32_closure;
         ] );
     ]

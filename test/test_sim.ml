@@ -405,6 +405,42 @@ target: .word 0xffffffff             # would trap if executed unmodified
   in
   ignore mem
 
+let test_cpu_aliased_store_invalidates_decode () =
+  (* Regression: the decode-cache invalidation must wrap the store
+     address with the SRAM decoder mask exactly like the data path. A
+     store through a pointer with a flipped high bit (the signature of
+     an injected timing fault on an address computation) aliases a
+     low address; if that address holds an instruction that has already
+     executed — and is therefore decode-cached — the patched word must
+     be re-decoded on the next fetch, not served stale. *)
+  let patched = Encode.encode (Insn.Addi (3, 3, 10)) in
+  let _, mem, _ =
+    run_asm
+      (Printf.sprintf
+         {|
+        l.movhi r8, 0x8000
+        l.movhi r1, hi(target)
+        l.ori   r1, r1, lo(target)
+        l.add   r1, r1, r8           # target aliased through bit 31
+        l.movhi r2, hi(0x%08x)
+        l.ori   r2, r2, lo(0x%08x)
+        l.addi  r4, r0, 0
+loop:
+target: l.addi  r3, r3, 1            # patched to +10 after first pass
+        l.sw    0(r1), r2
+        l.sfeqi r4, 0
+        l.addi  r4, r4, 1
+        l.bf    loop
+        l.sw    0x100(r0), r3
+        l.nop   0x1
+      |}
+         patched patched)
+  in
+  (* Pass 1 adds 1, pass 2 runs the patched +10: a stale decode cache
+     would yield 2 instead. *)
+  Alcotest.(check int) "patched insn executed on second pass" 11
+    (Memory.read_u32 mem 0x100)
+
 let test_cpu_trace_hook () =
   let traced = ref [] in
   let config =
@@ -486,6 +522,8 @@ let () =
           Alcotest.test_case "compares not faulted" `Quick test_cpu_compares_not_faulted;
           Alcotest.test_case "fi always on" `Quick test_cpu_fi_always_on;
           Alcotest.test_case "self-modifying store" `Quick test_cpu_wrapped_store_corrupts_code;
+          Alcotest.test_case "aliased store invalidates decode" `Quick
+            test_cpu_aliased_store_invalidates_decode;
           Alcotest.test_case "trace hook" `Quick test_cpu_trace_hook;
           Alcotest.test_case "class counts" `Quick test_cpu_stats_class_counts;
         ] );

@@ -192,6 +192,21 @@ let test_cdf_empty_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let test_cdf_nan_rejected () =
+  Alcotest.(check bool) "NaN raises" true
+    (try
+       ignore (Cdf.of_samples [| 1.; Float.nan; 3. |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Float.compare is a total order over every non-NaN float, including
+   negative zero and infinities — the sort must place them correctly. *)
+let test_cdf_total_order () =
+  let c = Cdf.of_samples [| 0.; -0.; Float.infinity; Float.neg_infinity; 1. |] in
+  check_float "min is -inf" Float.neg_infinity (Cdf.min_value c);
+  check_float "max is +inf" Float.infinity (Cdf.max_value c);
+  check_float "P(>1) counts only +inf" 0.2 (Cdf.prob_greater c 1.)
+
 let prop_cdf_monotone =
   QCheck.Test.make ~name:"prob_greater is non-increasing" ~count:200
     QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range 0. 100.))
@@ -862,6 +877,9 @@ let () =
           Alcotest.test_case "basic" `Quick test_cdf_basic;
           Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
           Alcotest.test_case "empty rejected" `Quick test_cdf_empty_rejected;
+          Alcotest.test_case "NaN rejected" `Quick test_cdf_nan_rejected;
+          Alcotest.test_case "total order incl. zeros and infinities" `Quick
+            test_cdf_total_order;
         ] );
       ( "noise",
         [
