@@ -218,20 +218,15 @@ type smoke = {
   parallel_wall_s : float;
 }
 
+(* Bit-identity through the versioned codec: the sfi-point/1 writer
+   round-trips doubles exactly (nan as null), so equal strings mean equal
+   points — one comparison shared with the golden tests instead of a
+   hand-maintained field list. *)
 let points_equal a b =
-  List.length a = List.length b
-  && List.for_all2
-       (fun (p : Sfi_fi.Campaign.point) (q : Sfi_fi.Campaign.point) ->
-         p.Sfi_fi.Campaign.freq_mhz = q.Sfi_fi.Campaign.freq_mhz
-         && p.Sfi_fi.Campaign.trials = q.Sfi_fi.Campaign.trials
-         && p.Sfi_fi.Campaign.finished_rate = q.Sfi_fi.Campaign.finished_rate
-         && p.Sfi_fi.Campaign.correct_rate = q.Sfi_fi.Campaign.correct_rate
-         && p.Sfi_fi.Campaign.fi_per_kcycle = q.Sfi_fi.Campaign.fi_per_kcycle
-         && (p.Sfi_fi.Campaign.mean_error = q.Sfi_fi.Campaign.mean_error
-            || Float.is_nan p.Sfi_fi.Campaign.mean_error
-               && Float.is_nan q.Sfi_fi.Campaign.mean_error)
-         && p.Sfi_fi.Campaign.any_fault_possible = q.Sfi_fi.Campaign.any_fault_possible)
-       a b
+  let render pts =
+    Sfi_fi.Campaign.Point_json.to_string (Sfi_fi.Campaign.Point_json.of_sweep pts)
+  in
+  render a = render b
 
 (* Deterministic obs fingerprint of a region: counters and histograms are
    cumulative, so subtract the before-snapshot name by name. Spans and
@@ -278,8 +273,11 @@ let parallel_smoke () =
   let freqs = List.map (fun r -> fsta *. r) [ 1.02; 1.10; 1.18; 1.26 ] in
   let trials = 8 in
   let run jobs =
+    let spec =
+      Sfi_fi.Campaign.Spec.(default |> with_trials trials |> with_jobs jobs)
+    in
     let t0 = Unix.gettimeofday () in
-    let pts = Sfi_fi.Campaign.sweep ~trials ~jobs ~bench ~model ~freqs_mhz:freqs () in
+    let pts = Sfi_fi.Campaign.run_sweep spec ~bench ~model ~freqs_mhz:freqs in
     (pts, Unix.gettimeofday () -. t0)
   in
   ignore (run 1) (* warm the reference-cycle cache out of the timed region *);
@@ -306,6 +304,75 @@ let parallel_smoke () =
     serial_wall_s;
     parallel_wall_s;
   }
+
+(* ---------- adaptive vs fixed: trial counts and wall-time savings ---------- *)
+
+type adaptive_cmp = {
+  cmp_points : int;
+  cmp_ci_target : float;
+  fixed_trials_total : int;
+  adaptive_trials_total : int;
+  fixed_wall_s : float;
+  adaptive_wall_s : float;
+  max_rate_dev : float;  (* max |correct_rate_adaptive - correct_rate_fixed| *)
+}
+
+(* The tentpole's payoff, measured: a fixed-count sweep against the
+   adaptive engine with the same ceiling and ci_target 0.05 over a grid
+   spanning the safe region, the transition and deep failure. Points
+   whose Wilson interval tightens early (the extremes) stop before the
+   ceiling; the transition escalates to it. The recorded rate deviation
+   bounds the accuracy cost of stopping early. *)
+let adaptive_vs_fixed () =
+  let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 400 } () in
+  let bench = Sfi_kernels.Median.create ~n:17 () in
+  let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
+  let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
+  let freqs = List.map (fun r -> fsta *. r) [ 0.95; 1.05; 1.12; 1.20; 1.30 ] in
+  let ceiling = 64 and ci_target = 0.05 in
+  let module Spec = Sfi_fi.Campaign.Spec in
+  let fixed_spec = Spec.with_trials ceiling Spec.default in
+  let adaptive_spec =
+    Spec.with_adaptive ~batch:16 ~max_trials:ceiling ~ci_target Spec.default
+  in
+  ignore (Sfi_fi.Campaign.reference_cycles bench) (* warm, out of the timed region *);
+  let run spec =
+    let t0 = Unix.gettimeofday () in
+    let pts = Sfi_fi.Campaign.run_sweep spec ~bench ~model ~freqs_mhz:freqs in
+    (pts, Unix.gettimeofday () -. t0)
+  in
+  let fixed_pts, fixed_wall_s = run fixed_spec in
+  let adaptive_pts, adaptive_wall_s = run adaptive_spec in
+  let total pts =
+    List.fold_left (fun acc (p : Sfi_fi.Campaign.point) -> acc + p.Sfi_fi.Campaign.trials) 0 pts
+  in
+  let max_rate_dev =
+    List.fold_left2
+      (fun acc (f : Sfi_fi.Campaign.point) (a : Sfi_fi.Campaign.point) ->
+        Float.max acc
+          (Float.abs (f.Sfi_fi.Campaign.correct_rate -. a.Sfi_fi.Campaign.correct_rate)))
+      0. fixed_pts adaptive_pts
+  in
+  let r =
+    {
+      cmp_points = List.length freqs;
+      cmp_ci_target = ci_target;
+      fixed_trials_total = total fixed_pts;
+      adaptive_trials_total = total adaptive_pts;
+      fixed_wall_s;
+      adaptive_wall_s;
+      max_rate_dev;
+    }
+  in
+  Printf.printf
+    "adaptive vs fixed: %d points, fixed %d trials %.2f s, adaptive %d trials %.2f s \
+     (%.0f%% of the trials, %.2fx wall), max correct-rate deviation %.3f\n%!"
+    r.cmp_points r.fixed_trials_total fixed_wall_s r.adaptive_trials_total
+    adaptive_wall_s
+    (100. *. float_of_int r.adaptive_trials_total /. float_of_int (max 1 r.fixed_trials_total))
+    (fixed_wall_s /. Float.max 1e-9 adaptive_wall_s)
+    r.max_rate_dev;
+  r
 
 (* ---------- cache round-trip: cold vs warm characterization ---------- *)
 
@@ -363,11 +430,12 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache =
+let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache
+    ~adaptive =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/4\",\n";
+  add "  \"schema\": \"sfi-bench/5\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -404,6 +472,19 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cac
        \"speedup\": %.2f},\n"
       c.cache_entries c.cold_wall_s c.warm_wall_s
       (c.cold_wall_s /. Float.max 1e-9 c.warm_wall_s));
+  (match adaptive with
+  | None -> add "  \"adaptive\": null,\n"
+  | Some a ->
+    add
+      "  \"adaptive\": {\"points\": %d, \"ci_target\": %.3f, \"fixed_trials\": %d, \
+       \"adaptive_trials\": %d, \"trials_ratio\": %.3f, \"fixed_wall_s\": %.3f, \
+       \"adaptive_wall_s\": %.3f, \"wall_speedup\": %.2f, \"max_rate_dev\": %.4f},\n"
+      a.cmp_points a.cmp_ci_target a.fixed_trials_total a.adaptive_trials_total
+      (float_of_int a.adaptive_trials_total
+      /. Float.max 1. (float_of_int a.fixed_trials_total))
+      a.fixed_wall_s a.adaptive_wall_s
+      (a.fixed_wall_s /. Float.max 1e-9 a.adaptive_wall_s)
+      a.max_rate_dev);
   (match smoke with
   | None -> add "  \"parallel_smoke\": null\n"
   | Some s ->
@@ -458,8 +539,9 @@ let () =
     (Domain.recommended_domain_count ());
   if smoke_only then begin
     let smoke = parallel_smoke () in
+    let adaptive = adaptive_vs_fixed () in
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
-      ~smoke:(Some smoke) ~perf:None ~cache:None
+      ~smoke:(Some smoke) ~perf:None ~cache:None ~adaptive:(Some adaptive)
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
@@ -477,10 +559,11 @@ let () =
     let perf = if bechamel_only then None else Some (perf_metrics ()) in
     let cache = if bechamel_only then None else Some (cache_roundtrip ()) in
     let smoke = parallel_smoke () in
+    let adaptive = if bechamel_only then None else Some (adaptive_vs_fixed ()) in
     (match perf with
     | Some p -> p.campaign_wall_s <- smoke.serial_wall_s
     | None -> ());
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
-      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache
+      ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache ~adaptive
   end

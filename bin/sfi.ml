@@ -8,65 +8,20 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Shared --jobs option: overrides the process-wide default job count
-   (otherwise SFI_JOBS or all cores) before any pool is created. *)
-let jobs_arg =
-  Arg.(value
-       & opt (some int) None
-       & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains for Monte-Carlo and characterization fan-out \
-                 (default: \\$SFI_JOBS or all cores).")
+(* The flags shared across subcommands (-j/--jobs, --seed, --obs,
+   --cache-dir, --adaptive/--ci-target/--checkpoint, ...) live in
+   Common_flags so every subcommand parses them identically. *)
+let jobs_arg = Common_flags.jobs_arg
 
-let apply_jobs jobs =
-  Option.iter
-    (fun n ->
-      if n < 1 then (
-        Printf.eprintf "sfi: --jobs must be >= 1 (got %d)\n" n;
-        exit 2);
-      Sfi_util.Pool.set_default_jobs n)
-    jobs;
-  Printf.printf "parallel engine: %d job(s) (of %d recommended domains)\n%!"
-    (Sfi_util.Pool.default_jobs ())
-    (Domain.recommended_domain_count ())
+let apply_jobs = Common_flags.apply_jobs
 
-(* Shared --obs option: enables the observability registry for the run
-   and writes the merged counter/histogram/span snapshot as JSONL when
-   the command completes. *)
-let obs_arg =
-  Arg.(value
-       & opt (some string) None
-       & info [ "obs" ] ~docv:"FILE"
-           ~doc:"Record observability counters during the run and write the merged \
-                 snapshot to $(docv) as JSONL (schema sfi-obs/1).")
+let obs_arg = Common_flags.obs_arg
 
-let with_obs obs f =
-  (match obs with Some _ -> Sfi_obs.set_enabled true | None -> ());
-  let r = f () in
-  (match obs with
-  | None -> ()
-  | Some path ->
-    Sfi_obs.write_jsonl
-      ~meta:
-        [
-          ("jobs", Sfi_obs.Json.Int (Sfi_util.Pool.default_jobs ()));
-          ("generated_unix", Sfi_obs.Json.Int (int_of_float (Unix.time ())));
-        ]
-      path;
-    Printf.printf "wrote %s\n" path);
-  r
+let with_obs = Common_flags.with_obs
 
-(* Shared --cache-dir option: enables the persistent on-disk cache for
-   characterization databases and reference cycle counts. Off unless
-   given here or through SFI_CACHE_DIR. *)
-let cache_dir_arg =
-  Arg.(value
-       & opt (some string) None
-       & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"Persist characterization databases and benchmark reference cycle \
-                 counts under $(docv) and reuse matching entries on later runs \
-                 (default: \\$SFI_CACHE_DIR, else disabled).")
+let cache_dir_arg = Common_flags.cache_dir_arg
 
-let apply_cache_dir dir = Option.iter (fun d -> Sfi_cache.set_dir (Some d)) dir
+let apply_cache_dir = Common_flags.apply_cache_dir
 
 (* ---------- sfi experiments ---------- *)
 
@@ -78,7 +33,8 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only jobs obs cache_dir =
+  let run ids paper list_only jobs obs cache_dir
+      (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     if list_only then
       List.iter
         (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
@@ -88,13 +44,17 @@ let experiments_cmd =
       apply_cache_dir cache_dir;
       with_obs obs @@ fun () ->
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
-      let ctx = Sfi_core.Experiments.make_ctx scale in
+      (* No nominal count here: each figure scales the policy template to
+         its own trial count (an adaptive template's ceiling follows). *)
+      let spec = spec_flags () in
+      let ctx = Sfi_core.Experiments.make_ctx ~spec scale in
       ignore (Sfi_core.Experiments.run ctx ids)
     end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg $ cache_dir_arg)
+    Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg $ cache_dir_arg
+          $ Common_flags.spec_flags)
 
 (* ---------- sfi flow ---------- *)
 
@@ -103,10 +63,22 @@ let flow_cmd =
     Arg.(value & opt int 2000 & info [ "cycles" ] ~doc:"DTA characterization cycles.")
   in
   let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ] ~doc:"Characterization voltage.") in
-  let run char_cycles vdd obs cache_dir =
+  let seed =
+    Arg.(value
+         & opt int Sfi_core.Flow.default_config.Sfi_core.Flow.char_seed
+         & info [ "seed" ] ~docv:"N" ~doc:"Characterization RNG seed.")
+  in
+  let run char_cycles vdd seed jobs obs cache_dir =
+    apply_jobs jobs;
     apply_cache_dir cache_dir;
     with_obs obs @@ fun () ->
-    let config = { Sfi_core.Flow.default_config with Sfi_core.Flow.char_cycles } in
+    let config =
+      {
+        Sfi_core.Flow.default_config with
+        Sfi_core.Flow.char_cycles;
+        Sfi_core.Flow.char_seed = seed;
+      }
+    in
     let flow = Sfi_core.Flow.create ~config () in
     ignore (Sfi_core.Flow.char_db flow ~vdd);
     print_string (Sfi_core.Flow.summary flow);
@@ -120,7 +92,7 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Build the gate-level flow and print its timing summary.")
-    Term.(const run $ char_cycles $ vdd $ obs_arg $ cache_dir_arg)
+    Term.(const run $ char_cycles $ vdd $ seed $ jobs_arg $ obs_arg $ cache_dir_arg)
 
 (* ---------- sfi asm ---------- *)
 
@@ -213,8 +185,14 @@ let campaign_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
   in
-  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv jobs obs
-      cache_dir =
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the sweep as JSON (schema sfi-point/1).")
+  in
+  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv json
+      jobs obs cache_dir
+      (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     apply_jobs jobs;
     apply_cache_dir cache_dir;
     with_obs obs @@ fun () ->
@@ -239,19 +217,21 @@ let campaign_cmd =
           Printf.eprintf "unknown model %s\n" other;
           exit 1
       in
+      let spec = spec_flags ~fixed_trials:trials () in
       let rec freqs f = if f > hi +. 1e-9 then [] else f :: freqs (f +. step) in
-      let points =
-        Sfi_fi.Campaign.sweep ~trials ~bench ~model ~freqs_mhz:(freqs lo) ()
-      in
+      let points = Sfi_fi.Campaign.run_sweep spec ~bench ~model ~freqs_mhz:(freqs lo) in
       let t =
         Sfi_util.Table.create
           ~title:
-            (Printf.sprintf "%s under model %s at %.2f V, sigma %.0f mV" bench_name
-               model_name vdd sigma_mv)
+            (Printf.sprintf "%s under model %s at %.2f V, sigma %.0f mV (%s)" bench_name
+               model_name vdd sigma_mv
+               (Sfi_fi.Campaign.Spec.policy_to_string spec.Sfi_fi.Campaign.Spec.trials))
           [
             ("f [MHz]", Sfi_util.Table.Right);
+            ("trials", Sfi_util.Table.Right);
             ("finished", Sfi_util.Table.Right);
             ("correct", Sfi_util.Table.Right);
+            ("95% CI", Sfi_util.Table.Right);
             ("FI/kCycle", Sfi_util.Table.Right);
             (bench.Sfi_kernels.Bench.metric_name, Sfi_util.Table.Right);
           ]
@@ -261,8 +241,11 @@ let campaign_cmd =
           Sfi_util.Table.add_row t
             [
               Printf.sprintf "%.1f" p.Sfi_fi.Campaign.freq_mhz;
+              string_of_int p.Sfi_fi.Campaign.trials;
               Sfi_util.Table.fmt_pct p.Sfi_fi.Campaign.finished_rate;
               Sfi_util.Table.fmt_pct p.Sfi_fi.Campaign.correct_rate;
+              Printf.sprintf "[%.2f,%.2f]" p.Sfi_fi.Campaign.ci_low
+                p.Sfi_fi.Campaign.ci_high;
               (if p.Sfi_fi.Campaign.any_fault_possible then
                  Printf.sprintf "%.3g" p.Sfi_fi.Campaign.fi_per_kcycle
                else "n/a");
@@ -270,6 +253,31 @@ let campaign_cmd =
             ])
         points;
       Sfi_util.Table.print t;
+      (match json with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Sfi_fi.Campaign.Point_json.of_sweep
+            ~meta:
+              [
+                ("bench", Sfi_obs.Json.String bench_name);
+                ("model", Sfi_obs.Json.String model_name);
+                ("vdd", Sfi_obs.Json.Float vdd);
+                ("sigma_mv", Sfi_obs.Json.Float sigma_mv);
+                ( "policy",
+                  Sfi_obs.Json.String
+                    (Sfi_fi.Campaign.Spec.policy_to_string
+                       spec.Sfi_fi.Campaign.Spec.trials) );
+              ]
+            points
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Sfi_fi.Campaign.Point_json.to_string doc);
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" path);
       match csv with
       | None -> ()
       | Some path ->
@@ -282,7 +290,8 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
-          $ prob $ char_cycles $ csv $ jobs_arg $ obs_arg $ cache_dir_arg)
+          $ prob $ char_cycles $ csv $ json $ jobs_arg $ obs_arg $ cache_dir_arg
+          $ Common_flags.spec_flags)
 
 (* ---------- sfi stats ---------- *)
 

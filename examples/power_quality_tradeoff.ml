@@ -31,7 +31,11 @@ let () =
               Flow.model_c ~operating_vdd:vdd flow ~vdd:0.7
                 ~sigma:(sigma_mv /. 1000.) ()
             in
-            let p = Sfi_fi.Campaign.run_point ~trials:30 ~bench ~model ~freq_mhz:freq () in
+            let p =
+              Sfi_fi.Campaign.run
+                Sfi_fi.Campaign.Spec.(default |> with_trials 30)
+                ~bench ~model ~freq_mhz:freq
+            in
             Printf.printf "  %-8.3f %-12.3f %-10.0f %-10.0f %.1f\n%!" vdd
               (Power.normalized ~vdd)
               (100. *. p.Sfi_fi.Campaign.finished_rate)

@@ -24,13 +24,17 @@ let () =
      ISS. A reduced median instance keeps each Monte-Carlo trial cheap. *)
   let bench = Sfi_kernels.Median.create ~n:65 () in
 
-  (* 4. Sweep frequency across the transition region. *)
+  (* 4. Sweep frequency across the transition region. The spec holds the
+     whole Monte-Carlo policy: swap [with_trials] for
+     [with_adaptive ~ci_target:...] to let each point stop as soon as
+     its confidence intervals are tight enough. *)
+  let spec = Sfi_fi.Campaign.Spec.(default |> with_trials 40) in
   let freqs = [ 680.; 720.; 760.; 800.; 840.; 880.; 920. ] in
   Printf.printf "\n%-10s %-10s %-10s %-12s %s\n" "f [MHz]" "finished" "correct"
     "FI/kCycle" "rel. error of finished runs [%]";
   List.iter
     (fun freq_mhz ->
-      let p = Sfi_fi.Campaign.run_point ~trials:40 ~bench ~model ~freq_mhz () in
+      let p = Sfi_fi.Campaign.run spec ~bench ~model ~freq_mhz in
       Printf.printf "%-10.0f %-10.0f %-10.0f %-12.3g %.1f\n%!" freq_mhz
         (100. *. p.Sfi_fi.Campaign.finished_rate)
         (100. *. p.Sfi_fi.Campaign.correct_rate)

@@ -27,7 +27,8 @@ let explore bench_name vdd sigma_mv trials points =
       List.init points (fun i ->
           fsta *. (0.88 +. (0.50 *. float_of_int i /. float_of_int (points - 1))))
     in
-    let results = Sfi_fi.Campaign.sweep ~trials ~bench ~model ~freqs_mhz:freqs () in
+    let spec = Sfi_fi.Campaign.Spec.(default |> with_trials trials) in
+    let results = Sfi_fi.Campaign.run_sweep spec ~bench ~model ~freqs_mhz:freqs in
     let t =
       Table.create
         ~title:

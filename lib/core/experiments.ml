@@ -32,11 +32,28 @@ let paper =
     dense_step = 0.008;
   }
 
-type ctx = { scale : scale; flow : Flow.t; benches : Bench.t list }
+type ctx = {
+  scale : scale;
+  flow : Flow.t;
+  benches : Bench.t list;
+  spec : Campaign.Spec.t;
+}
 
-let make_ctx scale =
+let make_ctx ?(spec = Campaign.Spec.default) scale =
   let config = { Flow.default_config with Flow.char_cycles = scale.char_cycles } in
-  { scale; flow = Flow.create ~config (); benches = Registry.paper_suite () }
+  {
+    scale;
+    flow = Flow.create ~config ();
+    benches = Registry.paper_suite ();
+    spec = Campaign.Spec.validate spec;
+  }
+
+(* Each figure scales the user's policy template to its own nominal
+   trial count: a Fixed spec runs exactly that count (bit-identical to
+   the historic per-figure defaults), an Adaptive one keeps its batch
+   size and precision target but may stop earlier or escalate to at
+   least that count. *)
+let spec_for ctx nominal = Campaign.Spec.with_nominal_trials nominal ctx.spec
 
 let flow ctx = ctx.flow
 
@@ -186,7 +203,7 @@ let fig1 ctx =
        frequency in 0.5 MHz steps, as the paper's Fig. 1 does. *)
     let freqs = grid (center -. 3.) (center +. 4.) 0.5 in
     let points =
-      Campaign.sweep ~trials:ctx.scale.trials ~bench:b ~model ~freqs_mhz:freqs ()
+      Campaign.run_sweep (spec_for ctx ctx.scale.trials) ~bench:b ~model ~freqs_mhz:freqs
     in
     sweep_table ~title ~metric_name:"rel.err" points
   in
@@ -320,7 +337,8 @@ let fig5 ctx =
             transition_grid ~fsta ~rel_lo:0.80 ~rel_hi:1.45 ~rel_step:ctx.scale.dense_step
           in
           let points =
-            Campaign.sweep ~trials:ctx.scale.trials_fig5 ~bench:b ~model ~freqs_mhz:freqs ()
+            Campaign.run_sweep (spec_for ctx ctx.scale.trials_fig5) ~bench:b ~model
+              ~freqs_mhz:freqs
           in
           sweep_table
             ~title:
@@ -347,7 +365,7 @@ let fig6 ctx =
         transition_grid ~fsta ~rel_lo:0.90 ~rel_hi:1.35 ~rel_step:ctx.scale.dense_step
       in
       let points =
-        Campaign.sweep ~trials:ctx.scale.trials ~bench:b ~model ~freqs_mhz:freqs ()
+        Campaign.run_sweep (spec_for ctx ctx.scale.trials) ~bench:b ~model ~freqs_mhz:freqs
       in
       sweep_table
         ~title:(Printf.sprintf "Fig 6: %s, Vdd = %.1f V, sigma = %.0f mV (model C)" name vdd
@@ -387,7 +405,7 @@ let fig7 ctx =
       List.iter
         (fun vdd ->
           let model = Flow.model_c ~operating_vdd:vdd ctx.flow ~vdd:0.7 ~sigma () in
-          let p = Campaign.run_point ~trials:ctx.scale.trials ~bench:b ~model ~freq_mhz:freq () in
+          let p = Campaign.run (spec_for ctx ctx.scale.trials) ~bench:b ~model ~freq_mhz:freq in
           if p.Campaign.correct_rate < 1.0 && !poff = None then poff := Some vdd;
           Table.add_row t
             [
@@ -414,9 +432,9 @@ let ablation_sampling ctx =
   let fsta = Flow.sta_limit_mhz ctx.flow ~vdd in
   let freqs = transition_grid ~fsta ~rel_lo:0.95 ~rel_hi:1.35 ~rel_step:0.04 in
   let run sampling =
-    Campaign.sweep ~trials:ctx.scale.trials ~bench:b
+    Campaign.run_sweep (spec_for ctx ctx.scale.trials) ~bench:b
       ~model:(Flow.model_c ~sampling ctx.flow ~vdd ~sigma ())
-      ~freqs_mhz:freqs ()
+      ~freqs_mhz:freqs
   in
   let ind = run Model.Independent and corr = run Model.Vector_correlated in
   let t =
@@ -530,8 +548,8 @@ let model_a_demo ctx =
   List.iter
     (fun prob ->
       let p =
-        Campaign.run_point ~trials:ctx.scale.trials ~bench:b
-          ~model:(Flow.model_a ~bit_flip_prob:prob) ~freq_mhz:707. ()
+        Campaign.run (spec_for ctx ctx.scale.trials) ~bench:b
+          ~model:(Flow.model_a ~bit_flip_prob:prob) ~freq_mhz:707.
       in
       Table.add_row t
         [
@@ -560,7 +578,7 @@ let extension_kernels ctx =
         transition_grid ~fsta ~rel_lo:0.92 ~rel_hi:1.45 ~rel_step:ctx.scale.dense_step
       in
       let points =
-        Campaign.sweep ~trials:ctx.scale.trials ~bench:b ~model ~freqs_mhz:freqs ()
+        Campaign.run_sweep (spec_for ctx ctx.scale.trials) ~bench:b ~model ~freqs_mhz:freqs
       in
       sweep_table
         ~title:
@@ -624,7 +642,7 @@ let quality_margins ctx =
   List.iter
     (fun (b : Bench.t) ->
       let points =
-        Campaign.sweep ~trials:ctx.scale.trials ~bench:b ~model ~freqs_mhz:freqs ()
+        Campaign.run_sweep (spec_for ctx ctx.scale.trials) ~bench:b ~model ~freqs_mhz:freqs
       in
       (* Highest frequency such that every point at or below it satisfies
          the predicate (conservative margin). *)

@@ -26,9 +26,18 @@ val paper : scale
 
 type ctx
 
-val make_ctx : scale -> ctx
+val make_ctx : ?spec:Sfi_fi.Campaign.Spec.t -> scale -> ctx
 (** Builds the flow (netlist, sizing, STA) once; DTA characterizations
-    are performed lazily as experiments need them. *)
+    are performed lazily as experiments need them.
+
+    [spec] (default {!Sfi_fi.Campaign.Spec.default}) is the campaign
+    policy template: every figure scales it to its own nominal trial
+    count with [Spec.with_nominal_trials], so a [Fixed] template
+    reproduces the historic per-figure counts bit-for-bit while an
+    [Adaptive] one lets each point stop at the requested precision (or
+    escalate to at least the figure's count). The template's seed, job
+    count and checkpoint file apply to every campaign the experiments
+    run. Raises [Invalid_argument] on an invalid spec. *)
 
 val flow : ctx -> Flow.t
 

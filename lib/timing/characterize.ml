@@ -158,8 +158,16 @@ let compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu 
 
 let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
     ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
-    ?(profile_for = fun _ -> uniform32) ?jobs ~vdd (alu : Alu.t) =
+    ?(profile_for = fun _ -> uniform32) ?jobs ?spec ~vdd (alu : Alu.t) =
   if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
+  (* A spec's job count wins over the legacy [?jobs] knob; its other
+     fields (trial policy, seed, checkpoint) describe Monte-Carlo
+     campaigns and do not apply to characterization — in particular the
+     characterization seed stays [?seed], keeping chardb cache
+     fingerprints stable across campaign-spec changes. *)
+  let jobs =
+    match spec with Some (s : Spec.t) -> s.Spec.jobs | None -> jobs
+  in
   Sfi_obs.Counter.incr obs_runs;
   Sfi_obs.Span.time obs_wall @@ fun () ->
   let key =

@@ -61,6 +61,7 @@ val run :
   ?lib:Cell_lib.t ->
   ?profile_for:(Op_class.t -> operand_profile) ->
   ?jobs:int ->
+  ?spec:Spec.t ->
   vdd:float ->
   Alu.t ->
   t
@@ -71,10 +72,15 @@ val run :
     checked against [Op_class.apply]; a mismatch raises [Failure] (it
     would indicate a broken netlist or simulator).
 
-    Classes are characterized in parallel on [jobs] domains (default
-    [Sfi_util.Pool.default_jobs ()]), each on its own DTA instance with a
-    pre-split RNG stream — the database is bit-identical for every job
-    count. *)
+    Classes are characterized in parallel on a domain pool, each on its
+    own DTA instance with a pre-split RNG stream — the database is
+    bit-identical for every job count. The worker count comes from
+    [spec]'s [jobs] field when a {!Sfi_util.Spec.t} is given (its other
+    fields are ignored here: the characterization seed stays [seed], so
+    chardb cache fingerprints do not depend on campaign specs);
+    otherwise from the deprecated [jobs] argument; otherwise
+    [Sfi_util.Pool.default_jobs ()]. Prefer [spec] — [jobs] remains only
+    for source compatibility. *)
 
 val class_db : t -> Op_class.t -> class_db
 

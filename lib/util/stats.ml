@@ -65,6 +65,23 @@ let mean_ci95 xs =
   if n < 2 then (m, 0.)
   else (m, 1.96 *. stddev xs /. sqrt (float_of_int n))
 
+let wilson_interval ?(z = 1.96) ~successes ~trials () =
+  if trials < 0 then invalid_arg "Stats.wilson_interval: negative trials";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes out of range";
+  if trials = 0 then (0., 1.)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    let center = (p +. (z2 /. (2. *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt (((p *. (1. -. p)) /. n) +. (z2 /. (4. *. n *. n)))
+    in
+    (Float.max 0. (center -. half), Float.min 1. (center +. half))
+  end
+
 type histogram = { lo : float; hi : float; counts : int array }
 
 let histogram ~bins xs =

@@ -30,6 +30,14 @@ val mean_ci95 : float array -> float * float
 (** [(mean, halfwidth)] of the normal-approximation 95% confidence interval
     of the mean. Halfwidth is [0.] for fewer than two samples. *)
 
+val wilson_interval : ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** [(low, high)] Wilson score interval for a binomial proportion at
+    confidence [z] (default 1.96, i.e. 95%). Unlike the normal
+    approximation it stays inside [\[0,1\]] and behaves at the extremes
+    ([successes = 0] or [= trials]), which is exactly where fault
+    campaigns live. [trials = 0] yields the vacuous [(0., 1.)]. Raises
+    [Invalid_argument] on negative counts or [successes > trials]. *)
+
 type histogram = { lo : float; hi : float; counts : int array }
 
 val histogram : bins:int -> float array -> histogram

@@ -275,10 +275,11 @@ let test_campaign_cold_warm () =
     let flow = Flow.create ~config () in
     let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
     let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
-    let p =
-      Sfi_fi.Campaign.run_point ~trials:4 ~seed:3 ~jobs:1 ~bench ~model
-        ~freq_mhz:(fsta *. 1.15) ()
+    let spec =
+      Sfi_fi.Campaign.Spec.(
+        default |> with_trials 4 |> with_seed 3 |> with_jobs 1)
     in
+    let p = Sfi_fi.Campaign.run spec ~bench ~model ~freq_mhz:(fsta *. 1.15) in
     (p, Flow.char_db flow ~vdd:0.7)
   in
   (* Fill the in-process reference-cycles memo before the measured

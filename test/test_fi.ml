@@ -222,11 +222,17 @@ let test_injector_deterministic_in_rng () =
 
 let small_median = lazy (Median.create ~n:21 ~seed:3 ())
 
+(* Spec builder mirroring the old optional-argument surface, so the
+   campaign tests keep reading in terms of per-call trial counts. *)
+let spec ?(trials = 100) ?(seed = 1) ?jobs () =
+  let s = Campaign.Spec.(default |> with_trials trials |> with_seed seed) in
+  match jobs with Some j -> Campaign.Spec.with_jobs j s | None -> s
+
 let test_campaign_fault_free_point () =
   let p =
-    Campaign.run_point ~trials:5 ~bench:(Lazy.force small_median)
+    Campaign.run (spec ~trials:5 ()) ~bench:(Lazy.force small_median)
       ~model:(Model.Fixed_probability { bit_flip_prob = 0. })
-      ~freq_mhz:707. ()
+      ~freq_mhz:707.
   in
   Alcotest.(check (float 0.)) "finished" 1.0 p.Campaign.finished_rate;
   Alcotest.(check (float 0.)) "correct" 1.0 p.Campaign.correct_rate;
@@ -235,17 +241,17 @@ let test_campaign_fault_free_point () =
 
 let test_campaign_saturated_faults_break_everything () =
   let p =
-    Campaign.run_point ~trials:5 ~bench:(Lazy.force small_median)
+    Campaign.run (spec ~trials:5 ()) ~bench:(Lazy.force small_median)
       ~model:(Model.Fixed_probability { bit_flip_prob = 0.5 })
-      ~freq_mhz:707. ()
+      ~freq_mhz:707.
   in
   Alcotest.(check (float 0.)) "nothing correct" 0.0 p.Campaign.correct_rate;
   Alcotest.(check bool) "fi rate large" true (p.Campaign.fi_per_kcycle > 100.)
 
 let test_campaign_below_onset_uses_fast_path () =
   let p =
-    Campaign.run_point ~trials:50 ~bench:(Lazy.force small_median) ~model:(model_c 0.)
-      ~freq_mhz:500. ()
+    Campaign.run (spec ~trials:50 ()) ~bench:(Lazy.force small_median)
+      ~model:(model_c 0.) ~freq_mhz:500.
   in
   Alcotest.(check bool) "fast path" false p.Campaign.any_fault_possible;
   Alcotest.(check int) "single representative trial" 1 p.Campaign.trials
@@ -271,8 +277,11 @@ let test_campaign_poff_detection () =
     {
       Campaign.freq_mhz = freq;
       trials = 10;
+      trials_requested = 10;
       finished_rate = 1.;
       correct_rate = correct;
+      ci_low = correct;
+      ci_high = correct;
       fi_per_kcycle = 0.;
       mean_error = 0.;
       any_fault_possible = true;
@@ -288,8 +297,11 @@ let test_campaign_poff_detection () =
 let point_equal (p : Campaign.point) (q : Campaign.point) =
   p.Campaign.freq_mhz = q.Campaign.freq_mhz
   && p.Campaign.trials = q.Campaign.trials
+  && p.Campaign.trials_requested = q.Campaign.trials_requested
   && p.Campaign.finished_rate = q.Campaign.finished_rate
   && p.Campaign.correct_rate = q.Campaign.correct_rate
+  && p.Campaign.ci_low = q.Campaign.ci_low
+  && p.Campaign.ci_high = q.Campaign.ci_high
   && p.Campaign.fi_per_kcycle = q.Campaign.fi_per_kcycle
   && (p.Campaign.mean_error = q.Campaign.mean_error
      || (Float.is_nan p.Campaign.mean_error && Float.is_nan q.Campaign.mean_error))
@@ -313,18 +325,18 @@ let test_campaign_jobs_determinism () =
   let model = model_c 0.010 in
   (* Warm the reference-cycle cache so both instrumented runs see the
      same cache hit/miss counts. *)
-  ignore (Campaign.run_point ~trials:1 ~bench ~model ~freq_mhz:900. ());
+  ignore (Campaign.run (spec ~trials:1 ()) ~bench ~model ~freq_mhz:900.);
   List.iter
     (fun seed ->
       List.iter
         (fun freq_mhz ->
           let serial, sig1 =
             with_obs_signature (fun () ->
-                Campaign.run_point ~trials:10 ~seed ~jobs:1 ~bench ~model ~freq_mhz ())
+                Campaign.run (spec ~trials:10 ~seed ~jobs:1 ()) ~bench ~model ~freq_mhz)
           in
           let pooled, sig4 =
             with_obs_signature (fun () ->
-                Campaign.run_point ~trials:10 ~seed ~jobs:4 ~bench ~model ~freq_mhz ())
+                Campaign.run (spec ~trials:10 ~seed ~jobs:4 ()) ~bench ~model ~freq_mhz)
           in
           if not (point_equal serial pooled) then
             Alcotest.failf "jobs=1 vs jobs=4 differ at seed %d, %.0f MHz" seed freq_mhz;
@@ -344,14 +356,16 @@ let test_campaign_sweep_jobs_determinism () =
   let bench = Lazy.force small_median in
   let model = model_c 0.010 in
   let freqs = [ 880.; 940.; 1000. ] in
-  ignore (Campaign.run_point ~trials:1 ~bench ~model ~freq_mhz:880. ());
+  ignore (Campaign.run (spec ~trials:1 ()) ~bench ~model ~freq_mhz:880.);
   let serial, sig1 =
     with_obs_signature (fun () ->
-        Campaign.sweep ~trials:6 ~seed:5 ~jobs:1 ~bench ~model ~freqs_mhz:freqs ())
+        Campaign.run_sweep (spec ~trials:6 ~seed:5 ~jobs:1 ()) ~bench ~model
+          ~freqs_mhz:freqs)
   in
   let pooled, sig4 =
     with_obs_signature (fun () ->
-        Campaign.sweep ~trials:6 ~seed:5 ~jobs:4 ~bench ~model ~freqs_mhz:freqs ())
+        Campaign.run_sweep (spec ~trials:6 ~seed:5 ~jobs:4 ()) ~bench ~model
+          ~freqs_mhz:freqs)
   in
   Alcotest.(check int) "same length" (List.length serial) (List.length pooled);
   List.iter2
@@ -363,8 +377,8 @@ let test_campaign_sweep_jobs_determinism () =
 
 let test_campaign_sweep_shape () =
   let points =
-    Campaign.sweep ~trials:8 ~bench:(Lazy.force small_median) ~model:(model_c 0.010)
-      ~freqs_mhz:[ 600.; 900.; 1100. ] ()
+    Campaign.run_sweep (spec ~trials:8 ()) ~bench:(Lazy.force small_median)
+      ~model:(model_c 0.010) ~freqs_mhz:[ 600.; 900.; 1100. ]
   in
   Alcotest.(check int) "three points" 3 (List.length points);
   let correct = List.map (fun p -> p.Campaign.correct_rate) points in

@@ -68,34 +68,19 @@ let fig2_small () =
           ] );
     ]
 
+(* The sweep figures serialize through the one versioned point codec
+   (schema sfi-point/1) — the same renderer `sfi campaign --json` and the
+   bench harness use — so a codec change shows up here as a golden diff. *)
 let sweep_json ~figure ~bench ~sigma ~rels ~trials =
   let fl = Lazy.force flow in
   let fsta = Flow.sta_limit_mhz fl ~vdd:0.7 in
   let model = Flow.model_c fl ~vdd:0.7 ~sigma () in
   let freqs = List.map (fun r -> fsta *. r) rels in
-  let points =
-    Sfi_fi.Campaign.sweep ~trials ~seed:42 ~bench ~model ~freqs_mhz:freqs ()
-  in
-  Json.Obj
-    [
-      ("figure", Json.String figure);
-      ("trials", Json.Int trials);
-      ( "points",
-        Json.List
-          (List.map
-             (fun (p : Sfi_fi.Campaign.point) ->
-               Json.Obj
-                 [
-                   ("freq_mhz", num p.Sfi_fi.Campaign.freq_mhz);
-                   ("finished_rate", num p.Sfi_fi.Campaign.finished_rate);
-                   ("correct_rate", num p.Sfi_fi.Campaign.correct_rate);
-                   ("fi_per_kcycle", num p.Sfi_fi.Campaign.fi_per_kcycle);
-                   ("mean_error", num p.Sfi_fi.Campaign.mean_error);
-                   ( "any_fault_possible",
-                     Json.Bool p.Sfi_fi.Campaign.any_fault_possible );
-                 ])
-             points) );
-    ]
+  let spec = Sfi_fi.Campaign.Spec.(default |> with_trials trials |> with_seed 42) in
+  let points = Sfi_fi.Campaign.run_sweep spec ~bench ~model ~freqs_mhz:freqs in
+  Sfi_fi.Campaign.Point_json.of_sweep
+    ~meta:[ ("figure", Json.String figure); ("trials", Json.Int trials) ]
+    points
 
 let fig5_small () =
   sweep_json ~figure:"fig5_small"

@@ -164,6 +164,33 @@ let test_stats_percentile_clamps () =
   check_float "p<0 clamps" 1. (Stats.percentile xs (-5.));
   check_float "p>100 clamps" 3. (Stats.percentile xs 140.)
 
+let test_stats_wilson () =
+  (* trials = 0: total, maximally uninformative. *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:0 () in
+  check_float "empty lo" 0. lo;
+  check_float "empty hi" 1. hi;
+  (* Known value: 8/10 at z=1.96 -> (0.4902, 0.9433) (textbook Wilson). *)
+  let lo, hi = Stats.wilson_interval ~successes:8 ~trials:10 () in
+  Alcotest.(check bool) "8/10 lo" true (Float.abs (lo -. 0.49016) < 1e-4);
+  Alcotest.(check bool) "8/10 hi" true (Float.abs (hi -. 0.94331) < 1e-4);
+  (* Extremes stay inside [0,1] and never collapse for finite n. *)
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:20 () in
+  check_float "0/20 lo clamps" 0. lo0;
+  Alcotest.(check bool) "0/20 hi > 0" true (hi0 > 0. && hi0 < 1.);
+  let lo1, hi1 = Stats.wilson_interval ~successes:20 ~trials:20 () in
+  check_float "20/20 hi clamps" 1. hi1;
+  Alcotest.(check bool) "20/20 lo < 1" true (lo1 > 0. && lo1 < 1.);
+  (* Interval shrinks with n at fixed rate. *)
+  let w n =
+    let lo, hi = Stats.wilson_interval ~successes:(n / 2) ~trials:n () in
+    hi -. lo
+  in
+  Alcotest.(check bool) "narrows with n" true (w 400 < w 100 && w 100 < w 20);
+  (* Invalid inputs are rejected. *)
+  Alcotest.check_raises "successes > trials"
+    (Invalid_argument "Stats.wilson_interval: successes out of range")
+    (fun () -> ignore (Stats.wilson_interval ~successes:5 ~trials:4 ()))
+
 (* ---------- Interp ---------- *)
 
 let test_interp_eval () =
@@ -443,6 +470,7 @@ let () =
           Alcotest.test_case "fraction" `Quick test_stats_fraction;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "ci95" `Quick test_stats_ci;
+          Alcotest.test_case "wilson interval" `Quick test_stats_wilson;
           Alcotest.test_case "empty inputs are total" `Quick test_stats_empty_totals;
           Alcotest.test_case "singleton inputs are total" `Quick
             test_stats_singleton_totals;
