@@ -208,6 +208,84 @@ let perf_metrics () =
     characterize_wall_s;
   { events_per_sec; insns_per_sec; characterize_wall_s; campaign_wall_s = nan }
 
+(* ---------- characterization kernels: scalar vs packed ---------- *)
+
+type kernels = {
+  kernel_cycles : int;
+  scalar_wall_s : float;
+  packed_wall_s : float;
+  scalar_events_per_sec : float;
+  packed_events_per_sec : float;
+  kernel_speedup : float;
+}
+
+(* Merged value of a (possibly sharded) ~det:false work counter. *)
+let counter_value name =
+  List.fold_left
+    (fun acc e ->
+      match e.Sfi_obs.entry_value with
+      | Sfi_obs.Counter_v v when e.Sfi_obs.entry_name = name -> acc + v
+      | _ -> acc)
+    0 (Sfi_obs.snapshot ())
+
+(* The same characterization run on both kernels, serially, timed — the
+   packed engine's reason to exist in one number. Events/sec counts
+   scalar-equivalent gate evaluations: [dta.events] for the scalar
+   engine, [bitsim.lane_events] (trigger-mask population) for the packed
+   one; the two totals agree modulo the per-class initial settling that
+   the packed engine folds into its functional prime. The cache must be
+   off here: fingerprints are engine-independent by design, so a warm
+   cache would serve engine B the database engine A just wrote. *)
+let kernel_compare ~cycles () =
+  if not (Sfi_netlist.Bitsim.available ()) then begin
+    Printf.printf "kernel compare: skipped (packed engine unavailable on this target)\n%!";
+    None
+  end
+  else begin
+    Sfi_cache.set_dir None;
+    (* A clean heap for a clean measurement: the comparison runs before
+       the other phases (and compacts away whatever setup allocated), so
+       GC pressure from unrelated bench fixtures cannot skew the
+       engine-vs-engine ratio. *)
+    Gc.compact ();
+    let flow = Flow.create () in
+    let alu = Flow.alu flow in
+    let run engine =
+      let ev0 = counter_value "dta.events" + counter_value "bitsim.lane_events" in
+      let t0 = Unix.gettimeofday () in
+      let db = Sfi_timing.Characterize.run ~cycles ~jobs:1 ~engine ~vdd:0.7 alu in
+      let wall = Unix.gettimeofday () -. t0 in
+      let events =
+        counter_value "dta.events" + counter_value "bitsim.lane_events" - ev0
+      in
+      (db, wall, events)
+    in
+    let sdb, scalar_wall_s, s_events = run Sfi_timing.Characterize.Scalar in
+    let pdb, packed_wall_s, p_events = run Sfi_timing.Characterize.Packed in
+    if Marshal.to_string sdb [] <> Marshal.to_string pdb [] then
+      failwith "kernel compare: packed database differs from scalar";
+    let per_sec ev wall = float_of_int ev /. Float.max 1e-9 wall in
+    let r =
+      {
+        kernel_cycles = cycles;
+        scalar_wall_s;
+        packed_wall_s;
+        scalar_events_per_sec = per_sec s_events scalar_wall_s;
+        packed_events_per_sec = per_sec p_events packed_wall_s;
+        kernel_speedup = scalar_wall_s /. Float.max 1e-9 packed_wall_s;
+      }
+    in
+    Printf.printf
+      "kernel compare: %d cycles/class, scalar %.2f s (%.2f Mevents/s), packed %.2f s \
+       (%.2f Mevents/s), %.2fx, databases bit-identical\n%!"
+      cycles scalar_wall_s
+      (r.scalar_events_per_sec /. 1e6)
+      packed_wall_s
+      (r.packed_events_per_sec /. 1e6)
+      r.kernel_speedup;
+    Some r
+  end
+
 (* ---------- parallel smoke: serial vs pooled sweep ---------- *)
 
 type smoke = {
@@ -431,11 +509,11 @@ let json_escape s =
   Buffer.contents buf
 
 let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache
-    ~adaptive =
+    ~adaptive ~kernels =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/5\",\n";
+  add "  \"schema\": \"sfi-bench/6\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -472,6 +550,15 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cac
        \"speedup\": %.2f},\n"
       c.cache_entries c.cold_wall_s c.warm_wall_s
       (c.cold_wall_s /. Float.max 1e-9 c.warm_wall_s));
+  (match kernels with
+  | None -> add "  \"kernels\": null,\n"
+  | Some k ->
+    add
+      "  \"kernels\": {\"cycles\": %d, \"scalar_wall_s\": %.3f, \"packed_wall_s\": %.3f, \
+       \"scalar_events_per_sec\": %.0f, \"packed_events_per_sec\": %.0f, \
+       \"speedup\": %.2f, \"identical_db\": true},\n"
+      k.kernel_cycles k.scalar_wall_s k.packed_wall_s k.scalar_events_per_sec
+      k.packed_events_per_sec k.kernel_speedup);
   (match adaptive with
   | None -> add "  \"adaptive\": null,\n"
   | Some a ->
@@ -538,13 +625,21 @@ let () =
     (Pool.default_jobs ())
     (Domain.recommended_domain_count ());
   if smoke_only then begin
+    let kernels = kernel_compare ~cycles:600 () in
+    (match kernels with
+    | Some k when k.kernel_speedup < 1.0 ->
+      failwith "kernel compare: packed engine slower than scalar"
+    | _ -> ());
     let smoke = parallel_smoke () in
     let adaptive = adaptive_vs_fixed () in
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
-      ~smoke:(Some smoke) ~perf:None ~cache:None ~adaptive:(Some adaptive)
+      ~smoke:(Some smoke) ~perf:None ~cache:None ~adaptive:(Some adaptive) ~kernels
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
+    (* Kernels first: the scalar-vs-packed ratio is measured on a fresh
+       process heap, before experiment fixtures accumulate. *)
+    let kernels = if bechamel_only then None else kernel_compare ~cycles:2000 () in
     let timings =
       if bechamel_only then []
       else begin
@@ -566,4 +661,5 @@ let () =
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
       ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache ~adaptive
+      ~kernels
   end

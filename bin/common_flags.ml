@@ -64,6 +64,24 @@ let cache_dir_arg =
 
 let apply_cache_dir dir = Option.iter (fun d -> Sfi_cache.set_dir (Some d)) dir
 
+(* --engine: selects the characterization kernel. Results are
+   bit-identical either way (pinned by the differential tests), so this
+   is purely a performance knob; it does not enter cache fingerprints. *)
+let engine_arg =
+  let module C = Sfi_timing.Characterize in
+  Arg.(value
+       & opt (some (enum [ ("auto", C.Auto); ("scalar", C.Scalar); ("packed", C.Packed) ]))
+           None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Characterization kernel: $(b,packed) evaluates 63 trials per \
+                 gate operation bit-parallel, $(b,scalar) runs one DTA cycle \
+                 per trial, $(b,auto) picks packed when the platform supports \
+                 it. Databases are bit-identical across engines (default: \
+                 \\$SFI_ENGINE, else auto).")
+
+let apply_engine engine =
+  Option.iter Sfi_timing.Characterize.set_default_engine engine
+
 (* ---------- campaign spec flags ---------- *)
 
 let seed_arg =

@@ -23,6 +23,10 @@ let cache_dir_arg = Common_flags.cache_dir_arg
 
 let apply_cache_dir = Common_flags.apply_cache_dir
 
+let engine_arg = Common_flags.engine_arg
+
+let apply_engine = Common_flags.apply_engine
+
 (* ---------- sfi experiments ---------- *)
 
 let experiments_cmd =
@@ -33,7 +37,7 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only jobs obs cache_dir
+  let run ids paper list_only jobs obs cache_dir engine
       (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     if list_only then
       List.iter
@@ -42,6 +46,7 @@ let experiments_cmd =
     else begin
       apply_jobs jobs;
       apply_cache_dir cache_dir;
+      apply_engine engine;
       with_obs obs @@ fun () ->
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
       (* No nominal count here: each figure scales the policy template to
@@ -54,7 +59,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
     Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg $ cache_dir_arg
-          $ Common_flags.spec_flags)
+          $ engine_arg $ Common_flags.spec_flags)
 
 (* ---------- sfi flow ---------- *)
 
@@ -68,9 +73,10 @@ let flow_cmd =
          & opt int Sfi_core.Flow.default_config.Sfi_core.Flow.char_seed
          & info [ "seed" ] ~docv:"N" ~doc:"Characterization RNG seed.")
   in
-  let run char_cycles vdd seed jobs obs cache_dir =
+  let run char_cycles vdd seed jobs obs cache_dir engine =
     apply_jobs jobs;
     apply_cache_dir cache_dir;
+    apply_engine engine;
     with_obs obs @@ fun () ->
     let config =
       {
@@ -92,7 +98,8 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Build the gate-level flow and print its timing summary.")
-    Term.(const run $ char_cycles $ vdd $ seed $ jobs_arg $ obs_arg $ cache_dir_arg)
+    Term.(const run $ char_cycles $ vdd $ seed $ jobs_arg $ obs_arg $ cache_dir_arg
+          $ engine_arg)
 
 (* ---------- sfi asm ---------- *)
 
@@ -191,10 +198,11 @@ let campaign_cmd =
              ~doc:"Also write the sweep as JSON (schema sfi-point/1).")
   in
   let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv json
-      jobs obs cache_dir
+      jobs obs cache_dir engine
       (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     apply_jobs jobs;
     apply_cache_dir cache_dir;
+    apply_engine engine;
     with_obs obs @@ fun () ->
     match Sfi_kernels.Registry.by_name bench_name with
     | None ->
@@ -291,7 +299,7 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
           $ prob $ char_cycles $ csv $ json $ jobs_arg $ obs_arg $ cache_dir_arg
-          $ Common_flags.spec_flags)
+          $ engine_arg $ Common_flags.spec_flags)
 
 (* ---------- sfi stats ---------- *)
 

@@ -119,6 +119,22 @@ type t = {
   fanin_net : int array;
   reader_off : int array;
   reader_gate : int array;
+  (* Compiled levelized schedule, also built once in [freeze]: gates
+     partitioned into topological levels (level of a gate = 1 + max level
+     of its fan-in nets; primary inputs and constants are level 0) and,
+     within each level, grouped by cell kind. [sched_gate] lists every
+     gate exactly once, ordered by (level, kind, gate index); segment [s]
+     covers [sched_gate.(seg_off.(s)) .. sched_gate.(seg_off.(s+1)-1)]
+     and contains only gates of kind code [seg_kind.(s)]. A word-level
+     evaluator can therefore run one tight loop per segment — a single
+     kind dispatch amortized over the whole segment — while still seeing
+     every fan-in already computed (segments are emitted level by
+     level). *)
+  n_levels : int;
+  gate_level : int array;
+  sched_gate : int array;
+  seg_off : int array;
+  seg_kind : int array;
 }
 
 let freeze (b : Builder.t) ~lib =
@@ -190,6 +206,54 @@ let freeze (b : Builder.t) ~lib =
   let tags =
     Array.of_list (List.rev b.Builder.tags)
   in
+  (* Topological levels over nets, then the (level, kind)-segmented
+     schedule via a counting sort: gate creation order is already
+     topological, so one forward pass computes every level. *)
+  let net_level = Array.make n_nets 0 in
+  let gate_level = Array.make n_gates 0 in
+  let n_levels = ref 0 in
+  Array.iteri
+    (fun i g ->
+      let lvl =
+        1 + Array.fold_left (fun acc n -> max acc net_level.(n)) 0 g.fan_in
+      in
+      gate_level.(i) <- lvl;
+      net_level.(g.out) <- lvl;
+      if lvl > !n_levels then n_levels := lvl)
+    gates;
+  let n_levels = !n_levels in
+  let n_buckets = n_levels * Cell.code_count in
+  let bucket i = ((gate_level.(i) - 1) * Cell.code_count) + kind_code.(i) in
+  let bucket_count = Array.make (n_buckets + 1) 0 in
+  Array.iteri
+    (fun i _ -> bucket_count.(bucket i) <- bucket_count.(bucket i) + 1)
+    gates;
+  let bucket_off = Array.make (n_buckets + 1) 0 in
+  for bk = 0 to n_buckets - 1 do
+    bucket_off.(bk + 1) <- bucket_off.(bk) + bucket_count.(bk)
+  done;
+  let sched_gate = Array.make n_gates (-1) in
+  let fill = Array.copy bucket_off in
+  Array.iteri
+    (fun i _ ->
+      let bk = bucket i in
+      sched_gate.(fill.(bk)) <- i;
+      fill.(bk) <- fill.(bk) + 1)
+    gates;
+  let n_segs =
+    Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 bucket_count
+  in
+  let seg_off = Array.make (n_segs + 1) 0 in
+  let seg_kind = Array.make n_segs 0 in
+  let s = ref 0 in
+  for bk = 0 to n_buckets - 1 do
+    if bucket_count.(bk) > 0 then begin
+      seg_off.(!s) <- bucket_off.(bk);
+      seg_kind.(!s) <- bk mod Cell.code_count;
+      incr s
+    end
+  done;
+  seg_off.(n_segs) <- n_gates;
   {
     n_nets;
     gates;
@@ -206,6 +270,11 @@ let freeze (b : Builder.t) ~lib =
     fanin_net;
     reader_off;
     reader_gate;
+    n_levels;
+    gate_level;
+    sched_gate;
+    seg_off;
+    seg_kind;
   }
 
 let tag_id t name =

@@ -75,10 +75,27 @@ type t = {
                                        [reader_off.(n)] to
                                        [reader_off.(n+1) - 1], in
                                        topological gate order *)
+  n_levels : int;                  (** number of topological levels *)
+  gate_level : int array;          (** per gate, 1 + max fan-in net level
+                                       (primary inputs and constants are
+                                       level 0) *)
+  sched_gate : int array;          (** every gate exactly once, ordered by
+                                       (level, kind, gate index) *)
+  seg_off : int array;             (** segment offsets into [sched_gate],
+                                       length [segments + 1] *)
+  seg_kind : int array;            (** per segment, the {!Cell.code} all
+                                       its gates share *)
 }
 (** The [kind_code ... reader_gate] fields are a flat structure-of-arrays
     mirror of [gates] built by {!freeze}; hot evaluation loops use them
-    for cache locality, everything else uses the [gates] records. *)
+    for cache locality, everything else uses the [gates] records.
+
+    [n_levels ... seg_kind] are the compiled levelized schedule:
+    segments are emitted level by level, so when a word-level evaluator
+    processes them in order every fan-in of a segment's gates has
+    already been written by an earlier segment (or is a primary
+    input/constant), and each segment needs just one kind dispatch for
+    a tight straight-line loop (see {!Bitsim}). *)
 
 val freeze : Builder.t -> lib:Cell_lib.t -> t
 (** Freezes the builder and annotates every gate with its nominal delay

@@ -1,14 +1,15 @@
 type t = float array (* sorted ascending *)
 
-let of_samples xs =
-  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty";
-  let ys = Array.copy xs in
-  (* A NaN sample would sort to an arbitrary position under any
-     comparator and silently poison every quantile/probability query
-     downstream; fail loudly instead. *)
+(* A NaN sample would sort to an arbitrary position under any
+   comparator and silently poison every quantile/probability query
+   downstream; fail loudly instead. *)
+let of_samples_owned ys =
+  if Array.length ys = 0 then invalid_arg "Cdf.of_samples: empty";
   Array.iter (fun x -> if Float.is_nan x then invalid_arg "Cdf.of_samples: NaN sample") ys;
   Array.sort Float.compare ys;
   ys
+
+let of_samples xs = of_samples_owned (Array.copy xs)
 
 let n t = Array.length t
 

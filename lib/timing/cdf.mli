@@ -10,6 +10,12 @@ type t
 val of_samples : float array -> t
 (** Copies and sorts. Raises [Invalid_argument] on an empty array. *)
 
+val of_samples_owned : float array -> t
+(** Takes ownership of the array and sorts it in place (no copy): for
+    callers that build the sample array expressly for the CDF, e.g. the
+    characterization kernel's per-endpoint columns. Same validation and
+    resulting distribution as {!of_samples}. *)
+
 val n : t -> int
 
 val min_value : t -> float

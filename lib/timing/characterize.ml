@@ -24,6 +24,24 @@ let uniform8 =
     sample = (fun rng -> (Rng.bits32 rng land 0xFF, Rng.bits32 rng land 0xFF));
   }
 
+type engine = Auto | Scalar | Packed
+
+(* Process-wide default, following the Pool.set_default_jobs /
+   Sfi_cache.set_dir idiom so CLI flags (and the SFI_ENGINE variable,
+   for harnesses without their own flag plumbing, e.g. the golden tests
+   under CI's packed leg) reach every characterization in the
+   process. *)
+let default_engine =
+  ref
+    (match Option.map String.lowercase_ascii (Sys.getenv_opt "SFI_ENGINE") with
+    | Some "scalar" -> Scalar
+    | Some "packed" -> Packed
+    | _ -> Auto)
+
+let set_default_engine e = default_engine := e
+
+let engine_name = function Auto -> "auto" | Scalar -> "scalar" | Packed -> "packed"
+
 let obs_runs = Sfi_obs.Counter.make "characterize.runs"
 
 (* One trial = one randomized-operand DTA cycle. [classes] and [trials]
@@ -37,6 +55,18 @@ let obs_classes = Sfi_obs.Counter.make ~det:false "characterize.classes"
 let obs_trials = Sfi_obs.Counter.make ~det:false "characterize.trials"
 
 let obs_wall = Sfi_obs.Span.make "characterize.wall"
+
+(* Packed-kernel utilization: [bitsim.lanes] sums the active lanes over
+   [bitsim.batches] packed sweeps (their ratio against Bitsim.lanes is
+   the fill factor; only the final partial batch of a class dilutes it).
+   [bitsim.fallbacks] counts packed requests served by the scalar
+   kernel because the target lacks 63-bit words. All cache-dependent
+   work counts, hence ~det:false like the dta.* family. *)
+let obs_batches = Sfi_obs.Counter.make ~det:false "bitsim.batches"
+
+let obs_lanes = Sfi_obs.Counter.make ~det:false "bitsim.lanes"
+
+let obs_fallbacks = Sfi_obs.Counter.make ~det:false "bitsim.fallbacks"
 
 type class_db = {
   cls : Op_class.t;
@@ -54,9 +84,36 @@ type t = {
   max_settle : float;
 }
 
-let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) cls =
-  Sfi_obs.Counter.incr obs_classes;
-  Sfi_obs.Counter.add obs_trials cycles;
+let functional_mismatch cls a b got expect =
+  failwith
+    (Printf.sprintf
+       "Characterize: DTA functional mismatch for %s a=%08x b=%08x: got %08x expected %08x"
+       (Op_class.name cls) a b got expect)
+
+(* Shared tail of both kernels: one transpose pass over [cycle_arrivals]
+   fills every endpoint's sample column, and [Cdf.of_samples_owned]
+   sorts each column in place — instead of allocating (and then copying
+   again) a fresh cycles-long array per endpoint. *)
+let finish ~(profile : operand_profile) cls cycle_arrivals max_settle =
+  let cycles = Array.length cycle_arrivals in
+  let width = Alu.width in
+  let cols = Array.init width (fun _ -> Array.make cycles 0.) in
+  for k = 0 to cycles - 1 do
+    let row = cycle_arrivals.(k) in
+    for e = 0 to width - 1 do
+      cols.(e).(k) <- row.(e)
+    done
+  done;
+  {
+    cls;
+    profile_name = profile.profile_name;
+    endpoint_cdfs = Array.map Cdf.of_samples_owned cols;
+    cycle_arrivals;
+    max_settle;
+  }
+
+let characterize_class_scalar ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t)
+    cls =
   let dta = Dta.create ~vdd ~vdd_model ~lib alu.Alu.circuit in
   (* Select the class once; the select settling cycle is not recorded. *)
   Array.iter
@@ -74,11 +131,7 @@ let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) 
     Dta.cycle dta;
     let got = Dta.read_vec dta endpoints in
     let expect = Op_class.apply cls a b in
-    if got <> expect then
-      failwith
-        (Printf.sprintf
-           "Characterize: DTA functional mismatch for %s a=%08x b=%08x: got %08x expected %08x"
-           (Op_class.name cls) a b got expect);
+    if got <> expect then functional_mismatch cls a b got expect;
     let row = cycle_arrivals.(k) in
     for e = 0 to width - 1 do
       let s = Dta.settle_time dta endpoints.(e) in
@@ -86,16 +139,108 @@ let characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t) 
       if s > !max_settle then max_settle := s
     done
   done;
-  let endpoint_cdfs =
-    Array.init width (fun e -> Cdf.of_samples (Array.init cycles (fun k -> cycle_arrivals.(k).(e))))
+  finish ~profile cls cycle_arrivals !max_settle
+
+(* The packed kernel: ⌈cycles/lanes⌉ sweeps of [Bitsim.lanes] trials.
+
+   The scalar kernel is a *chain* — trial [k]'s events are launched by
+   the operand transition from trial [k-1]'s settled state. To replicate
+   that chain lane-parallel, each sweep (1) samples its lane operands in
+   plain index order, so the RNG stream is identical to the scalar
+   loop's, (2) stages every lane's *predecessor* operands (lane l gets
+   lane l-1's pair; lane 0 continues from the previous sweep) and
+   settles them with one functional [prime] pass — valid because the
+   settled state of an acyclic circuit is a pure function of its inputs
+   — and (3) stages the new operands and runs one masked-event [cycle],
+   which plays out every lane's transition bit-identically to its
+   scalar counterpart. Inactive lanes of the final partial sweep carry
+   a = b = 0 on both sides of the transition and stay inert. *)
+let characterize_class_packed ~cycles ~rng ~vdd ~vdd_model ~lib ~profile (alu : Alu.t)
+    cls =
+  let lanes = Bitsim.lanes in
+  let width = Alu.width in
+  let endpoints = alu.Alu.result in
+  let dta =
+    Dta_packed.create ~vdd ~vdd_model ~lib ~watch:endpoints alu.Alu.circuit
   in
-  {
-    cls;
-    profile_name = profile.profile_name;
-    endpoint_cdfs;
-    cycle_arrivals;
-    max_settle = !max_settle;
-  }
+  (* Selects are constant across trials: stage once (all lanes), applied
+     by the first [prime]. The scalar kernel's select settling cycle is
+     likewise unrecorded. *)
+  Array.iter
+    (fun (c', net) ->
+      Dta_packed.set_input_word dta net (if c' = cls then Bitsim.full_mask else 0))
+    alu.Alu.selects;
+  let cycle_arrivals = Array.make_matrix cycles width 0. in
+  let max_settle = ref 0. in
+  let a_ops = Array.make lanes 0 and b_ops = Array.make lanes 0 in
+  let new_a = Array.make width 0 and new_b = Array.make width 0 in
+  let carry_a = ref 0 and carry_b = ref 0 in
+  let k = ref 0 in
+  while !k < cycles do
+    let active = min lanes (cycles - !k) in
+    Sfi_obs.Counter.incr obs_batches;
+    Sfi_obs.Counter.add obs_lanes active;
+    for l = 0 to active - 1 do
+      let a, b = profile.sample rng in
+      a_ops.(l) <- a;
+      b_ops.(l) <- b
+    done;
+    let mask = Bitsim.lane_mask ~active in
+    (* Bit-plane words of the new operands, and — as their lane-shift
+       plus the previous sweep's carry — of each lane's predecessor
+       operands. *)
+    for i = 0 to width - 1 do
+      let wa = ref 0 and wb = ref 0 in
+      for l = 0 to active - 1 do
+        wa := !wa lor (((a_ops.(l) lsr i) land 1) lsl l);
+        wb := !wb lor (((b_ops.(l) lsr i) land 1) lsl l)
+      done;
+      new_a.(i) <- !wa;
+      new_b.(i) <- !wb;
+      Dta_packed.set_input_word dta alu.Alu.a.(i)
+        (((!wa lsl 1) lor ((!carry_a lsr i) land 1)) land mask);
+      Dta_packed.set_input_word dta alu.Alu.b.(i)
+        (((!wb lsl 1) lor ((!carry_b lsr i) land 1)) land mask)
+    done;
+    Dta_packed.prime dta;
+    for i = 0 to width - 1 do
+      Dta_packed.set_input_word dta alu.Alu.a.(i) new_a.(i);
+      Dta_packed.set_input_word dta alu.Alu.b.(i) new_b.(i)
+    done;
+    Dta_packed.cycle dta;
+    for l = 0 to active - 1 do
+      let got = Dta_packed.read_lane_vec dta endpoints ~lane:l in
+      let expect = Op_class.apply cls a_ops.(l) b_ops.(l) in
+      if got <> expect then functional_mismatch cls a_ops.(l) b_ops.(l) got expect;
+      let row = cycle_arrivals.(!k + l) in
+      for e = 0 to width - 1 do
+        let s = Dta_packed.settle_time dta endpoints.(e) ~lane:l in
+        row.(e) <- s;
+        if s > !max_settle then max_settle := s
+      done
+    done;
+    carry_a := a_ops.(active - 1);
+    carry_b := b_ops.(active - 1);
+    k := !k + active
+  done;
+  finish ~profile cls cycle_arrivals !max_settle
+
+let characterize_class ~engine ~cycles ~rng ~vdd ~vdd_model ~lib ~profile alu cls =
+  Sfi_obs.Counter.incr obs_classes;
+  Sfi_obs.Counter.add obs_trials cycles;
+  let kernel =
+    match engine with
+    | Scalar -> characterize_class_scalar
+    | Auto | Packed ->
+      if Bitsim.available () then characterize_class_packed
+      else begin
+        (* Narrow native ints (32-bit / javascript targets): the packed
+           word layout is not validated there, serve scalar instead. *)
+        Sfi_obs.Counter.incr obs_fallbacks;
+        characterize_class_scalar
+      end
+  in
+  kernel ~cycles ~rng ~vdd ~vdd_model ~lib ~profile alu cls
 
 (* Content fingerprint of everything the characterization result depends
    on. The circuit's [base_delay] array already folds in sizing, process
@@ -135,10 +280,11 @@ let fingerprint ~cycles ~seed ~setup_ps ~vdd_model ~lib
   List.iter (fun cls -> add_string fp (profile_for cls).profile_name) Op_class.all;
   hex fp
 
-let compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu =
+let compute ~engine ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu
+    =
   let root = Rng.of_int seed in
   (* Split the per-class RNGs from the root seed in class order before
-     dispatch; each class then runs on its own Dta.t instance, so the
+     dispatch; each class then runs on its own DTA instance, so the
      characterization is bit-identical for every job count. *)
   let tagged =
     List.rev (List.fold_left (fun acc cls -> (cls, Rng.split root) :: acc) [] Op_class.all)
@@ -147,7 +293,7 @@ let compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu 
     Pool.using ?jobs (fun pool ->
         Pool.map pool
           (fun (cls, rng) ->
-            characterize_class ~cycles ~rng ~vdd ~vdd_model ~lib
+            characterize_class ~engine ~cycles ~rng ~vdd ~vdd_model ~lib
               ~profile:(profile_for cls) alu cls)
           (Array.of_list tagged))
   in
@@ -158,8 +304,13 @@ let compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu 
 
 let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
     ?(vdd_model = Vdd_model.default) ?(lib = Cell_lib.default)
-    ?(profile_for = fun _ -> uniform32) ?jobs ?spec ~vdd (alu : Alu.t) =
+    ?(profile_for = fun _ -> uniform32) ?jobs ?spec ?engine ~vdd (alu : Alu.t) =
   if cycles <= 0 then invalid_arg "Characterize.run: cycles must be positive";
+  (* Resolved at call time so set_default_engine between runs takes
+     effect; the engine deliberately stays OUT of the cache fingerprint
+     below — both kernels produce bit-identical databases, so an entry
+     written under one engine must be served to the other. *)
+  let engine = match engine with Some e -> e | None -> !default_engine in
   (* A spec's job count wins over the legacy [?jobs] knob; its other
      fields (trial policy, seed, checkpoint) describe Monte-Carlo
      campaigns and do not apply to characterization — in particular the
@@ -189,7 +340,10 @@ let run ?(cycles = 8000) ?(seed = 0xD7A) ?(setup_ps = Sta.default_setup_ps)
   match cached with
   | Some t -> t
   | None ->
-      let t = compute ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd ~setup_ps alu in
+      let t =
+        compute ~engine ~cycles ~seed ~vdd_model ~lib ~profile_for ?jobs ~vdd
+          ~setup_ps alu
+      in
       (match key with
       | Some key -> Sfi_cache.store ~namespace:"chardb" ~key t
       | None -> ());
@@ -211,10 +365,14 @@ let class_first_failure_mhz t cls ~scale =
   let period = (db.max_settle +. t.setup_ps) *. scale in
   1e6 /. period
 
+(* Campaign per-cycle hot path: a plain for loop (the closure an
+   Array.iteri would allocate is per call here, not per element). *)
 let violation_mask t cls ~cycle ~period_ps ~scale =
   let db = class_db t cls in
   let row = db.cycle_arrivals.(cycle) in
   let thr = threshold t ~period_ps ~scale in
   let mask = ref 0 in
-  Array.iteri (fun e s -> if s > thr then mask := !mask lor (1 lsl e)) row;
+  for e = 0 to Array.length row - 1 do
+    if Array.unsafe_get row e > thr then mask := !mask lor (1 lsl e)
+  done;
   !mask

@@ -32,6 +32,24 @@ val uniform16 : operand_profile
 
 val uniform8 : operand_profile
 
+type engine =
+  | Auto  (** {!Packed} when {!Sfi_netlist.Bitsim.available}, else scalar *)
+  | Scalar  (** one {!Dta} cycle per trial *)
+  | Packed
+      (** {!Dta_packed}: ⌈cycles/lanes⌉ bit-parallel sweeps; produces a
+          bit-identical database (same RNG stream — lane operands are
+          sampled in trial order — and per-lane event times equal to the
+          scalar kernel's). Falls back to scalar, counted in the
+          [bitsim.fallbacks] counter, on targets without 63-bit words. *)
+
+val set_default_engine : engine -> unit
+(** Sets the process-wide engine used when {!run} gets no [?engine]
+    (the [--engine] flag lands here). The initial default is [Auto],
+    overridable by the [SFI_ENGINE] environment variable ([scalar],
+    [packed], anything else [Auto]). *)
+
+val engine_name : engine -> string
+
 type class_db = {
   cls : Op_class.t;
   profile_name : string;
@@ -62,6 +80,7 @@ val run :
   ?profile_for:(Op_class.t -> operand_profile) ->
   ?jobs:int ->
   ?spec:Spec.t ->
+  ?engine:engine ->
   vdd:float ->
   Alu.t ->
   t
@@ -80,7 +99,13 @@ val run :
     chardb cache fingerprints do not depend on campaign specs);
     otherwise from the deprecated [jobs] argument; otherwise
     [Sfi_util.Pool.default_jobs ()]. Prefer [spec] — [jobs] remains only
-    for source compatibility. *)
+    for source compatibility.
+
+    [engine] (default: the {!set_default_engine} value) picks the
+    characterization kernel. Both engines produce bit-identical
+    databases, so the persistent-cache fingerprint does NOT include the
+    engine: a database written under one engine is a cache hit for the
+    other. *)
 
 val class_db : t -> Op_class.t -> class_db
 
