@@ -18,9 +18,9 @@
 
    Every run ends by writing BENCH.json — per-experiment wall times, the
    Bechamel estimates, the serial engine throughput (DTA events/sec,
-   injector insns/sec, characterize vs campaign wall split) and the
-   parallel-smoke speedup — so successive PRs can track the performance
-   trajectory mechanically. *)
+   injector hook calls/sec, interpreter-vs-compiled ISS insns/sec,
+   characterize vs campaign wall split) and the parallel-smoke speedup —
+   so successive PRs can track the performance trajectory mechanically. *)
 
 open Sfi_util
 open Sfi_core
@@ -116,7 +116,17 @@ loop:   l.addi r2, r2, 3
     ]
   in
   let test = Test.make_grouped ~name:"sfi" ~fmt:"%s/%s" tests in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  (* stabilize:false — bechamel's per-sample stabilization loop (repeated
+     Gc.compact until live words settle, thousands of times across the
+     suite) leaves the OCaml 5.1 major-GC pacing stalled for the rest of
+     the process: after the suite returns, major-heap allocation stops
+     triggering slices, the heap balloons unbounded, and every
+     measurement downstream of this function (iss/cache/smoke/adaptive)
+     reads 2-6x slow. A lone Gc.compact does not trigger the stall. *)
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None
+      ~stabilize:false ()
+  in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -148,7 +158,7 @@ loop:   l.addi r2, r2, 3
 
 type perf = {
   events_per_sec : float; (* DTA events evaluated per second, sized ALU *)
-  insns_per_sec : float; (* model-C injector hook calls per second *)
+  injector_hook_calls_per_sec : float; (* model-C injector hook calls per second *)
   characterize_wall_s : float; (* one cold 0.7 V characterization *)
   mutable campaign_wall_s : float; (* serial Monte-Carlo sweep (from smoke) *)
 }
@@ -200,13 +210,82 @@ let perf_metrics () =
     call i (if i land 1 = 0 then Op_class.Add else Op_class.Mul)
   done;
   let inj_wall = Unix.gettimeofday () -. t0 in
-  let insns_per_sec = float_of_int insns /. Float.max 1e-9 inj_wall in
+  let injector_hook_calls_per_sec = float_of_int insns /. Float.max 1e-9 inj_wall in
   Printf.printf
     "engine throughput: DTA %.2f Mevents/s (%d events / %.2f s), injector %.2f \
-     Minsns/s, characterize %.2f s\n%!"
-    (events_per_sec /. 1e6) events dta_wall (insns_per_sec /. 1e6)
+     Mcalls/s, characterize %.2f s\n%!"
+    (events_per_sec /. 1e6) events dta_wall (injector_hook_calls_per_sec /. 1e6)
     characterize_wall_s;
-  { events_per_sec; insns_per_sec; characterize_wall_s; campaign_wall_s = nan }
+  { events_per_sec; injector_hook_calls_per_sec; characterize_wall_s;
+    campaign_wall_s = nan }
+
+(* ---------- ISS engines: interpreter vs compiled basic blocks ---------- *)
+
+type iss = {
+  iss_insns : int; (* instructions retired by one measured run *)
+  interp_wall_s : float; (* best-of-3 wall per run *)
+  compiled_wall_s : float;
+  interp_insns_per_sec : float;
+  compiled_insns_per_sec : float;
+  iss_speedup : float;
+}
+
+(* The same fault-free kernel run on both ISS engines, timed — real
+   retired-instruction throughput, unlike the injector-hook rate above
+   (which times only the fault model's per-operation math). The full
+   stats records and outputs must be equal: the compiled engine is
+   cycle-for-cycle bit-identical by contract, so any divergence here is
+   a hard failure, not a measurement artifact. Wall times are
+   best-of-3 over rep blocks sized to ~20 M instructions so a stray
+   scheduler hiccup cannot flip the smoke gate. The upfront compact
+   matters in the full run: the bechamel suite leaves a large dead
+   major heap behind, and the compiled engine (which allocates at
+   block-compile time, unlike the allocation-free interpreter) would
+   otherwise absorb the entire sweep cost inside its timed window. *)
+let iss_compare () =
+  let module C = Sfi_sim.Cpu in
+  Gc.compact ();
+  let bench = Sfi_kernels.Median.create ~n:129 () in
+  let run engine = Sfi_kernels.Bench.run_fault_free ~engine bench in
+  let istats, iout = run C.Interp in
+  let cstats, cout = run C.Compiled in
+  if istats <> cstats || iout <> cout then
+    failwith "iss compare: compiled engine diverged from the interpreter";
+  let insns = istats.C.instret in
+  let reps = max 1 (20_000_000 / max 1 insns) in
+  let time engine =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (run engine : C.stats * U32.t array)
+      done;
+      let w = Unix.gettimeofday () -. t0 in
+      if w < !best then best := w
+    done;
+    !best /. float_of_int reps
+  in
+  let interp_wall_s = time C.Interp in
+  let compiled_wall_s = time C.Compiled in
+  let per_sec wall = float_of_int insns /. Float.max 1e-9 wall in
+  let r =
+    {
+      iss_insns = insns;
+      interp_wall_s;
+      compiled_wall_s;
+      interp_insns_per_sec = per_sec interp_wall_s;
+      compiled_insns_per_sec = per_sec compiled_wall_s;
+      iss_speedup = interp_wall_s /. Float.max 1e-9 compiled_wall_s;
+    }
+  in
+  Printf.printf
+    "iss compare: %d insns/run x %d reps, interp %.2f Minsns/s, compiled %.2f \
+     Minsns/s (%.2fx), stats bit-identical\n%!"
+    insns reps
+    (r.interp_insns_per_sec /. 1e6)
+    (r.compiled_insns_per_sec /. 1e6)
+    r.iss_speedup;
+  r
 
 (* ---------- characterization kernels: scalar vs packed ---------- *)
 
@@ -509,11 +588,11 @@ let json_escape s =
   Buffer.contents buf
 
 let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache
-    ~adaptive ~kernels =
+    ~adaptive ~kernels ~iss =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/6\",\n";
+  add "  \"schema\": \"sfi-bench/7\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -538,10 +617,24 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cac
   (match perf with
   | None -> add "  \"perf\": null,\n"
   | Some p ->
+    (* sfi-bench/7: the old, misleadingly named "insns_per_sec" (it
+       timed injector hook calls, not retired instructions) is now
+       "injector_hook_calls_per_sec"; real ISS throughput lives in the
+       "iss" object below. *)
     add
-      "  \"perf\": {\"events_per_sec\": %.0f, \"insns_per_sec\": %.0f, \
+      "  \"perf\": {\"events_per_sec\": %.0f, \"injector_hook_calls_per_sec\": %.0f, \
        \"characterize_wall_s\": %.3f, \"campaign_wall_s\": %.3f},\n"
-      p.events_per_sec p.insns_per_sec p.characterize_wall_s p.campaign_wall_s);
+      p.events_per_sec p.injector_hook_calls_per_sec p.characterize_wall_s
+      p.campaign_wall_s);
+  (match iss with
+  | None -> add "  \"iss\": null,\n"
+  | Some i ->
+    add
+      "  \"iss\": {\"insns_per_run\": %d, \"interp_wall_s\": %.6f, \
+       \"compiled_wall_s\": %.6f, \"interp_insns_per_sec\": %.0f, \
+       \"compiled_insns_per_sec\": %.0f, \"speedup\": %.2f, \"identical_stats\": true},\n"
+      i.iss_insns i.interp_wall_s i.compiled_wall_s i.interp_insns_per_sec
+      i.compiled_insns_per_sec i.iss_speedup);
   (match cache with
   | None -> add "  \"cache\": null,\n"
   | Some c ->
@@ -630,10 +723,14 @@ let () =
     | Some k when k.kernel_speedup < 1.0 ->
       failwith "kernel compare: packed engine slower than scalar"
     | _ -> ());
+    let iss = iss_compare () in
+    if iss.iss_speedup < 1.0 then
+      failwith "iss compare: compiled engine slower than the interpreter";
     let smoke = parallel_smoke () in
     let adaptive = adaptive_vs_fixed () in
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
       ~smoke:(Some smoke) ~perf:None ~cache:None ~adaptive:(Some adaptive) ~kernels
+      ~iss:(Some iss)
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
@@ -652,6 +749,7 @@ let () =
     in
     let bech_rows = if not skip_bechamel then bechamel_suite () else [] in
     let perf = if bechamel_only then None else Some (perf_metrics ()) in
+    let iss = if bechamel_only then None else Some (iss_compare ()) in
     let cache = if bechamel_only then None else Some (cache_roundtrip ()) in
     let smoke = parallel_smoke () in
     let adaptive = if bechamel_only then None else Some (adaptive_vs_fixed ()) in
@@ -661,5 +759,5 @@ let () =
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
       ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache ~adaptive
-      ~kernels
+      ~kernels ~iss
   end

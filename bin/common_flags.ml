@@ -82,6 +82,24 @@ let engine_arg =
 let apply_engine engine =
   Option.iter Sfi_timing.Characterize.set_default_engine engine
 
+(* --cpu-engine: selects the ISS engine. The compiled engine is
+   cycle-for-cycle bit-identical to the interpreter (pinned by the
+   engine-parity tests), so like --engine this is purely a performance
+   knob; it does not enter cache fingerprints or checkpoints. *)
+let cpu_engine_arg =
+  let module C = Sfi_sim.Cpu in
+  Arg.(value
+       & opt (some (enum [ ("auto", C.Auto); ("interp", C.Interp); ("compiled", C.Compiled) ]))
+           None
+       & info [ "cpu-engine" ] ~docv:"ENGINE"
+           ~doc:"ISS engine: $(b,compiled) executes basic blocks as cached \
+                 threaded code, $(b,interp) decodes and dispatches one \
+                 instruction at a time, $(b,auto) picks compiled. Cycle \
+                 counts, outcomes and injected-fault streams are bit-identical \
+                 across engines (default: \\$SFI_CPU_ENGINE, else auto).")
+
+let apply_cpu_engine engine = Option.iter Sfi_sim.Cpu.set_default_engine engine
+
 (* ---------- campaign spec flags ---------- *)
 
 let seed_arg =

@@ -27,6 +27,10 @@ let engine_arg = Common_flags.engine_arg
 
 let apply_engine = Common_flags.apply_engine
 
+let cpu_engine_arg = Common_flags.cpu_engine_arg
+
+let apply_cpu_engine = Common_flags.apply_cpu_engine
+
 (* ---------- sfi experiments ---------- *)
 
 let experiments_cmd =
@@ -37,7 +41,7 @@ let experiments_cmd =
     Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale Monte-Carlo settings (slow).")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids paper list_only jobs obs cache_dir engine
+  let run ids paper list_only jobs obs cache_dir engine cpu_engine
       (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     if list_only then
       List.iter
@@ -47,6 +51,7 @@ let experiments_cmd =
       apply_jobs jobs;
       apply_cache_dir cache_dir;
       apply_engine engine;
+      apply_cpu_engine cpu_engine;
       with_obs obs @@ fun () ->
       let scale = if paper then Sfi_core.Experiments.paper else Sfi_core.Experiments.fast in
       (* No nominal count here: each figure scales the policy template to
@@ -59,7 +64,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
     Term.(const run $ ids $ paper $ list_only $ jobs_arg $ obs_arg $ cache_dir_arg
-          $ engine_arg $ Common_flags.spec_flags)
+          $ engine_arg $ cpu_engine_arg $ Common_flags.spec_flags)
 
 (* ---------- sfi flow ---------- *)
 
@@ -134,7 +139,8 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "dump" ] ~docv:"ADDR:COUNT" ~doc:"Dump COUNT words from ADDR after the run.")
   in
-  let run file max_cycles mem_size dump =
+  let run file max_cycles mem_size dump cpu_engine =
+    apply_cpu_engine cpu_engine;
     let program = Sfi_isa.Asm.assemble_exn (read_file file) in
     let mem = Sfi_sim.Memory.create ~size:mem_size in
     Sfi_sim.Memory.load_program mem program;
@@ -166,7 +172,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and execute a program on the cycle-accurate ISS.")
-    Term.(const run $ file $ max_cycles $ mem_size $ dump)
+    Term.(const run $ file $ max_cycles $ mem_size $ dump $ cpu_engine_arg)
 
 (* ---------- sfi campaign ---------- *)
 
@@ -198,11 +204,12 @@ let campaign_cmd =
              ~doc:"Also write the sweep as JSON (schema sfi-point/1).")
   in
   let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv json
-      jobs obs cache_dir engine
+      jobs obs cache_dir engine cpu_engine
       (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     apply_jobs jobs;
     apply_cache_dir cache_dir;
     apply_engine engine;
+    apply_cpu_engine cpu_engine;
     with_obs obs @@ fun () ->
     match Sfi_kernels.Registry.by_name bench_name with
     | None ->
@@ -299,7 +306,7 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
     Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
           $ prob $ char_cycles $ csv $ json $ jobs_arg $ obs_arg $ cache_dir_arg
-          $ engine_arg $ Common_flags.spec_flags)
+          $ engine_arg $ cpu_engine_arg $ Common_flags.spec_flags)
 
 (* ---------- sfi stats ---------- *)
 
@@ -571,7 +578,8 @@ let paths_cmd =
 let trace_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let limit = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Instructions to trace.") in
-  let run file limit =
+  let run file limit cpu_engine =
+    apply_cpu_engine cpu_engine;
     let program = Sfi_isa.Asm.assemble_exn (read_file file) in
     let mem = Sfi_sim.Memory.create ~size:65536 in
     Sfi_sim.Memory.load_program mem program;
@@ -592,7 +600,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Execute a program and print the first N retired instructions.")
-    Term.(const run $ file $ limit)
+    Term.(const run $ file $ limit $ cpu_engine_arg)
 
 let main =
   Cmd.group

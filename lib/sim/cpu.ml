@@ -33,6 +33,40 @@ type stats = {
   taken_branches : int;
 }
 
+type engine = Auto | Interp | Compiled
+
+(* Process-wide default, following the Characterize.default_engine /
+   Pool.set_default_jobs idiom so the CLI flag (and SFI_CPU_ENGINE, for
+   harnesses without their own flag plumbing, e.g. the golden tests
+   under CI's compiled leg) reaches every simulation in the process. *)
+let default_engine =
+  ref
+    (match Option.map String.lowercase_ascii (Sys.getenv_opt "SFI_CPU_ENGINE") with
+    | Some "interp" -> Interp
+    | Some "compiled" -> Compiled
+    | _ -> Auto)
+
+let set_default_engine e = default_engine := e
+
+let engine_name = function Auto -> "auto" | Interp -> "interp" | Compiled -> "compiled"
+
+(* Engine-dependent work counters (how the result was computed, not
+   what was computed), det:false like the bitsim.* family so cold/warm
+   and interp/compiled runs keep identical det signatures. Accumulated
+   in plain state fields during a run and flushed once at [finish] so
+   the hot loops never touch the registry. *)
+let obs_blocks_compiled = Sfi_obs.Counter.make ~det:false "cpu.blocks_compiled"
+
+let obs_block_hits = Sfi_obs.Counter.make ~det:false "cpu.block_hits"
+
+let obs_block_flushes = Sfi_obs.Counter.make ~det:false "cpu.block_flushes"
+
+let obs_invalidations = Sfi_obs.Counter.make ~det:false "cpu.invalidations"
+
+let obs_compiled_insns = Sfi_obs.Counter.make ~det:false "cpu.compiled_insns"
+
+let obs_fallbacks = Sfi_obs.Counter.make ~det:false "cpu.fallbacks"
+
 (* Flag logic sits behind the subtractor: equality and magnitude are
    derived from the (possibly faulted) 32-bit difference, with the
    operands' sign bits disambiguating the overflow cases. *)
@@ -56,6 +90,7 @@ let flag_of_cmp cmp a b diff =
 
 type state = {
   mem : Memory.t;
+  addr_mask : int; (* Memory.size - 1: SRAM decoder mask for pc and stores *)
   regs : int array;
   mutable pc : int;
   mutable flag : bool;
@@ -72,10 +107,46 @@ type state = {
   (* load-use interlock: cycle at which each register's value can be
      consumed by EX (only loads set values in the future) *)
   ready : int array;
-  decode_cache : Insn.t option option array;
+  (* unboxed decode cache: one Uop quad per instruction word, slot 0
+     u_unfilled until first fetched and re-u_unfilled by stores *)
+  utab : int array;
+  (* compiled-engine block cache; [||] when interpreting *)
+  compiled : bool;
+  covered : int array; (* per word: number of cached blocks containing it *)
+  block_of : int array; (* entry word index -> block id, -1 for none *)
+  mutable blocks : int array array;
+  (* threaded code: blocks.(bid) describes the block, threads.(bid) is
+     the head closure of its compiled closure chain *)
+  mutable threads : (int -> unit) array;
+  mutable n_blocks : int;
+  mutable aborted : bool; (* a store flushed the cache mid-block *)
+  (* context of the block currently executing, for the exact trap/exit
+     patch-up and the per-block specialization (fields, not locals: the
+     closures and the exception handler must see the values at raise
+     time without boxing a ref per block) *)
+  mutable blk_i : int;
+  mutable blk_before : int;
+  mutable blk_fi0 : bool; (* st.fi_on at block entry *)
+  mutable blk_c0 : int; (* st.cycle at block entry *)
+  mutable blk_code : int array; (* descriptor of the block executing *)
+  (* obs accumulators, flushed once per run *)
+  mutable n_blocks_compiled : int;
+  mutable n_block_hits : int;
+  mutable n_block_flushes : int;
+  mutable n_invalidations : int;
+  mutable n_compiled_insns : int;
+  mutable n_fallbacks : int;
 }
 
 let finish st outcome =
+  if Sfi_obs.enabled () then begin
+    Sfi_obs.Counter.add obs_invalidations st.n_invalidations;
+    Sfi_obs.Counter.add obs_blocks_compiled st.n_blocks_compiled;
+    Sfi_obs.Counter.add obs_block_hits st.n_block_hits;
+    Sfi_obs.Counter.add obs_block_flushes st.n_block_flushes;
+    Sfi_obs.Counter.add obs_compiled_insns st.n_compiled_insns;
+    Sfi_obs.Counter.add obs_fallbacks st.n_fallbacks
+  end;
   {
     outcome;
     cycles = st.cycle;
@@ -89,10 +160,1084 @@ let finish st outcome =
     taken_branches = st.taken_branches;
   }
 
-let run ?(config = default_config) mem ~entry =
+exception Exit_sim of outcome
+
+(* Register indices come from 5-bit decode fields and comparison
+   indices from Uop's dense tables, so the unsafe accesses below are
+   bounds-checked by construction. *)
+
+let[@inline] reg st r = if r = 0 then 0 else Array.unsafe_get st.regs r
+
+let[@inline] set_reg st r v = if r <> 0 then Array.unsafe_set st.regs r v
+
+let[@inline] wait st r =
+  if r <> 0 && Array.unsafe_get st.ready r > st.cycle then
+    st.cycle <- Array.unsafe_get st.ready r
+
+let[@inline] count_control st =
+  if st.fi_on then st.control_retired <- st.control_retired + 1
+
+let[@inline] count_memory st =
+  if st.fi_on then st.memory_retired <- st.memory_retired + 1
+
+(* The compiled executor dispatches on literal micro-opcodes (a dense
+   match compiles to one jump table); pin the literals to Uop's layout
+   and the inlined class indices to Op_class's order. *)
+let () =
+  assert (
+    Uop.u_alu_rr = 2 && Uop.u_alu_ri = 11 && Uop.u_sf = 20 && Uop.u_sfi = 21
+    && Uop.u_j = 22 && Uop.u_j_self = 23 && Uop.u_jal = 24 && Uop.u_jr = 25
+    && Uop.u_jalr = 26 && Uop.u_bf = 27 && Uop.u_bnf = 28 && Uop.u_lwz = 29
+    && Uop.u_lhz = 30 && Uop.u_lbz = 31 && Uop.u_sw = 32 && Uop.u_sh = 33
+    && Uop.u_sb = 34 && Uop.u_nop = 35 && Uop.u_nop_exit = 36
+    && Uop.u_nop_kernel_begin = 37 && Uop.u_nop_kernel_end = 38);
+  assert (
+    Op_class.index Op_class.Add = 0
+    && Op_class.index Op_class.Sub = 1
+    && Op_class.index Op_class.Mul = 2
+    && Op_class.index Op_class.Sll = 3
+    && Op_class.index Op_class.Srl = 4
+    && Op_class.index Op_class.Sra = 5
+    && Op_class.index Op_class.And_ = 6
+    && Op_class.index Op_class.Or_ = 7
+    && Op_class.index Op_class.Xor_ = 8)
+
+let alu_result st config cls a b =
+  let clean = Op_class.apply cls a b in
+  let faulted =
+    if st.fi_on then
+      match config.fault_hook with
+      | Some hook ->
+        let mask = hook ~cycle:st.cycle ~cls ~a ~b ~result:clean in
+        if mask = 0 then clean else clean lxor mask
+      | None -> clean
+    else clean
+  in
+  if st.fi_on then begin
+    st.alu_retired <- st.alu_retired + 1;
+    let i = Op_class.index cls in
+    st.class_counts.(i) <- st.class_counts.(i) + 1
+  end;
+  faulted
+
+let[@inline] jump_to st target =
+  st.taken_branches <- st.taken_branches + 1;
+  st.cycle <- st.cycle + branch_penalty;
+  st.pc <- target
+
+let invalidate st addr =
+  (* Wrap with the SRAM decoder mask exactly like the data path: a
+     store through a fault-corrupted high-bit pointer clobbers the
+     same wrapped location [Memory.write_u32] wrote, so its cached
+     decode must be dropped, not skipped as "out of range". *)
+  let idx = (addr land st.addr_mask) lsr 2 in
+  Array.unsafe_set st.utab (idx lsl 2) Uop.u_unfilled;
+  st.n_invalidations <- st.n_invalidations + 1;
+  if st.compiled && Array.unsafe_get st.covered idx > 0 then begin
+    (* The store rewrote a word some cached block decoded. Drop the
+       whole cache and abort the block being executed; the dispatcher
+       resumes at the next pc and recompiles from current memory. *)
+    Array.fill st.block_of 0 (Array.length st.block_of) (-1);
+    Array.fill st.covered 0 (Array.length st.covered) 0;
+    st.n_blocks <- 0;
+    st.aborted <- true;
+    st.n_block_flushes <- st.n_block_flushes + 1
+  end
+
+(* One instruction in interpreter semantics: operands from the Uop
+   quad, pc updated in place. Every arm mirrors the historic Insn.t
+   interpreter line for line (same wait/count/hook order, so fault-hook
+   streams and cycle counts are bit-identical). *)
+let exec_uop st config op x y z =
+  if op < Uop.u_sf then begin
+    (if op < Uop.u_alu_ri then begin
+       (* ALU reg-reg: x=rD y=rA z=rB *)
+       wait st y;
+       wait st z;
+       set_reg st x
+         (alu_result st config
+            (Array.unsafe_get Uop.cls_table (op - Uop.u_alu_rr))
+            (reg st y) (reg st z))
+     end
+     else begin
+       (* ALU reg-imm: x=rD y=rA z=imm32 *)
+       wait st y;
+       set_reg st x
+         (alu_result st config
+            (Array.unsafe_get Uop.cls_table (op - Uop.u_alu_ri))
+            (reg st y) z)
+     end);
+    st.pc <- st.pc + 4
+  end
+  else if op <= Uop.u_sfi then begin
+    (* compares: the subtractor computes the difference, but the flag
+       flip-flop is not an ALU endpoint, so no fault is injected here
+       (paper Sec. 2.1: only the 32 EX result-register endpoints can
+       fail). Corrupted branching still happens indirectly, through
+       previously faulted values and indices reaching a compare. *)
+    (if op = Uop.u_sf then begin
+       wait st y;
+       wait st z;
+       let va = reg st y and vb = reg st z in
+       st.flag <- flag_of_cmp (Array.unsafe_get Uop.cmp_table x) va vb (U32.sub va vb)
+     end
+     else begin
+       wait st y;
+       let va = reg st y in
+       st.flag <- flag_of_cmp (Array.unsafe_get Uop.cmp_table x) va z (U32.sub va z)
+     end);
+    st.pc <- st.pc + 4
+  end
+  else if op <= Uop.u_bnf then begin
+    count_control st;
+    if op = Uop.u_j then jump_to st x
+    else if op = Uop.u_j_self then
+      raise (Exit_sim Watchdog) (* jump-to-self: infinite loop *)
+    else if op = Uop.u_jal then begin
+      set_reg st Insn.link_register y;
+      jump_to st x
+    end
+    else if op = Uop.u_jr then begin
+      wait st x;
+      jump_to st (reg st x)
+    end
+    else if op = Uop.u_jalr then begin
+      wait st x;
+      let target = reg st x in
+      set_reg st Insn.link_register y;
+      jump_to st target
+    end
+    else if op = Uop.u_bf then begin
+      if st.flag then jump_to st x else st.pc <- st.pc + 4
+    end
+    else begin
+      (* u_bnf *)
+      if not st.flag then jump_to st x else st.pc <- st.pc + 4
+    end
+  end
+  else if op <= Uop.u_lbz then begin
+    count_memory st;
+    wait st z;
+    let addr = U32.add (reg st z) y in
+    let v =
+      if op = Uop.u_lwz then Memory.read_u32 st.mem addr
+      else if op = Uop.u_lhz then Memory.read_u16 st.mem addr
+      else Memory.read_u8 st.mem addr
+    in
+    set_reg st x v;
+    if x <> 0 then Array.unsafe_set st.ready x (st.cycle + 1 + load_use_penalty);
+    st.pc <- st.pc + 4
+  end
+  else if op <= Uop.u_sb then begin
+    count_memory st;
+    wait st y;
+    wait st z;
+    let addr = U32.add (reg st y) x in
+    (if op = Uop.u_sw then Memory.write_u32 st.mem addr (reg st z)
+     else if op = Uop.u_sh then Memory.write_u16 st.mem addr (reg st z)
+     else Memory.write_u8 st.mem addr (reg st z));
+    invalidate st addr;
+    st.pc <- st.pc + 4
+  end
+  else begin
+    (* nops *)
+    if op = Uop.u_nop_exit then raise (Exit_sim Exited)
+    else if op = Uop.u_nop_kernel_begin then st.fi_on <- true
+    else if op = Uop.u_nop_kernel_end then
+      st.fi_on <- (if config.fi_always_on then true else false);
+    st.pc <- st.pc + 4
+  end;
+  st.cycle <- st.cycle + 1;
+  st.instret <- st.instret + 1
+
+(* One full fetch-decode-execute step with every architectural check.
+   This IS the interpreter engine; the compiled engine drops to it near
+   the watchdog, where per-instruction budget checks matter. *)
+let step st config =
+  if st.cycle >= config.max_cycles then raise (Exit_sim Watchdog);
+  if st.pc land 3 <> 0 then
+    raise (Exit_sim (Trapped (Printf.sprintf "misaligned pc 0x%x" st.pc)));
+  (* The fetch address wraps with the SRAM decoder, like data
+     accesses: a corrupted jump lands somewhere in memory and the
+     core executes whatever it finds (often an illegal encoding). *)
+  st.pc <- st.pc land st.addr_mask;
+  let u = st.utab in
+  let idx = st.pc lsr 2 in
+  let base = idx lsl 2 in
+  if Array.unsafe_get u base = Uop.u_unfilled then
+    Uop.decode_into u ~idx ~addr_mask:st.addr_mask (Memory.read_u32 st.mem st.pc);
+  let op = Array.unsafe_get u base in
+  if op = Uop.u_illegal then
+    raise (Exit_sim (Trapped (Printf.sprintf "illegal instruction at 0x%x" st.pc)));
+  (match config.trace with
+  | Some f -> (
+    (* the boxed form is materialized on demand; tracing is a
+       debugging aid and stays off the hot path *)
+    match Encode.decode (Memory.read_u32 st.mem st.pc) with
+    | Some insn -> f ~pc:st.pc insn
+    | None -> ())
+  | None -> ());
+  let was_on = st.fi_on in
+  let before = st.cycle in
+  exec_uop st config op
+    (Array.unsafe_get u (base + 1))
+    (Array.unsafe_get u (base + 2))
+    (Array.unsafe_get u (base + 3));
+  if was_on || st.fi_on then begin
+    st.kernel_cycles <- st.kernel_cycles + (st.cycle - before);
+    st.kernel_instret <- st.kernel_instret + 1
+  end
+
+let run_interp st config =
+  while true do
+    step st config
+  done
+
+(* ---------- compiled basic-block engine ---------- *)
+
+(* Blocks are straight-line runs of quads copied out of the decode
+   table. Layout: [| len; entry_pc; terminated; quads...; counter
+   totals |] where [terminated] is 1 when the last quad is a
+   control-flow or marker instruction (which sets pc itself) and 0 when
+   the block falls through (length cap or end of memory), in which case
+   the epilogue sets pc to entry_pc + 4*len after the last quad. The
+   descriptor array is the compiler's input and the patch-up paths'
+   metadata; what actually executes is the closure chain built from it
+   by [thread_of_block]. *)
+
+let max_block_insns = 256
+
+(* Conservative per-instruction cycle ceiling inside a block: +1 for
+   the instruction, at most +1 interlock stall (a load schedules
+   ready = cycle + 2 and only the immediately following instruction
+   can consume earlier than that), +2 taken-branch penalty. Blocks
+   whose worst case could reach the watchdog are stepped one
+   instruction at a time instead. *)
+let max_cycles_per_insn = 4
+
+(* Bit 6 set on a block-local opcode marks a quad that must probe the
+   load-use interlock at run time (see compile_block); Uop codes stay
+   below it. *)
+let wait_flag = 64
+
+let[@inline] is_terminator op =
+  op = Uop.u_illegal || (op >= Uop.u_j && op <= Uop.u_bnf) || op >= Uop.u_nop_exit
+
+(* Adds a completed block's static fi-window counter totals (appended
+   after the quads by [compile_block]). Only called when the block ran
+   with fi on; the interpreter bumps the same counters per
+   instruction. *)
+let book_block_counters st code len =
+  let cb = 3 + (len lsl 2) in
+  st.alu_retired <- st.alu_retired + Array.unsafe_get code cb;
+  st.control_retired <- st.control_retired + Array.unsafe_get code (cb + 1);
+  st.memory_retired <- st.memory_retired + Array.unsafe_get code (cb + 2);
+  let n = Array.unsafe_get code (cb + 3) in
+  for k = 0 to n - 1 do
+    let idx = Array.unsafe_get code (cb + 4 + (k lsl 1)) in
+    st.class_counts.(idx) <-
+      st.class_counts.(idx) + Array.unsafe_get code (cb + 5 + (k lsl 1))
+  done
+
+(* Exact counters for the first [retired] quads of a partially executed
+   block — the trap/exit/abort fix-up paths recompute what the batched
+   epilogue would have booked. Caller gates on the block's fi flag. *)
+let book_partial_counters st code retired =
+  for i = 0 to retired - 1 do
+    let op = Array.unsafe_get code (3 + (i lsl 2)) land (wait_flag - 1) in
+    if op >= Uop.u_alu_rr && op <= Uop.u_alu_ri + 8 then begin
+      st.alu_retired <- st.alu_retired + 1;
+      let k = if op < Uop.u_alu_ri then op - Uop.u_alu_rr else op - Uop.u_alu_ri in
+      st.class_counts.(k) <- st.class_counts.(k) + 1
+    end
+    else if op >= Uop.u_j && op <= Uop.u_bnf then
+      st.control_retired <- st.control_retired + 1
+    else if op >= Uop.u_lwz && op <= Uop.u_sb then
+      st.memory_retired <- st.memory_retired + 1
+  done
+
+(* Interlock check against a live cycle value: returns the (possibly
+   stalled) cycle instead of mutating st.cycle. *)
+let[@inline] waitc st r cyc =
+  if r <> 0 && Array.unsafe_get st.ready r > cyc then Array.unsafe_get st.ready r
+  else cyc
+
+exception Block_aborted
+
+(* A store rewrote a word of a cached block: the remaining closures of
+   the chain would execute stale code, so book the [i + 1] instructions
+   that completed (including the store, whose cycle is [cyc_done]) and
+   resume exact fetch at the next address. Escapes the chain by
+   exception; the constant constructor allocates nothing. *)
+let abort_block st code entry_pc cyc_done i =
+  let retired = i + 1 in
+  st.cycle <- cyc_done;
+  st.pc <- entry_pc + (retired lsl 2);
+  st.instret <- st.instret + retired;
+  if st.blk_fi0 then begin
+    st.kernel_cycles <- st.kernel_cycles + (cyc_done - st.blk_c0);
+    st.kernel_instret <- st.kernel_instret + retired;
+    (* [retired] includes the store that flushed the cache, so the quad
+       walk books its memory_retired along with its predecessors'. *)
+    book_partial_counters st code retired
+  end;
+  st.n_compiled_insns <- st.n_compiled_insns + retired;
+  raise_notrace Block_aborted
+
+(* Fault-injection slow path of an ALU micro-op: same hook signature,
+   argument values and call stream as [alu_result]. [cyc] is the live
+   cycle count the closure chain threads through its argument
+   (st.cycle is stale inside a block). The retired-class counters are
+   NOT bumped here — they are booked per block from the static
+   totals. *)
+let hooked h cls a b clean cyc =
+  let mask = h ~cycle:cyc ~cls ~a ~b ~result:clean in
+  if mask = 0 then clean else clean lxor mask
+
+(* Compiles a block descriptor into threaded code: one closure per
+   instruction, each ending with a tail call to its successor's
+   closure; the last one calls the block epilogue. This is the point of
+   the engine. The interpreter — and a quad-loop executor — dispatches
+   every instruction through one shared match whose indirect jump
+   mispredicts on nearly every instruction (the opcode sequence is
+   effectively random to a BTB keyed by branch address), while the
+   chain gives every instruction its own call site with exactly one
+   ever-observed target, which predicts perfectly after the first
+   iteration.
+
+   The builder also specializes on everything fixed for the lifetime of
+   the block cache (one [Cpu.run]):
+
+   - [config.fault_hook]: absent, and the ALU closures are the bare
+     operation; present, and the hook call gates on [st.blk_fi0], the
+     fi-window flag at block entry (constant across a block because
+     kernel markers terminate blocks);
+   - [config.trace]: absent, no per-instruction check at all; present,
+     the decoded [Insn.t] is captured at build time (sound because any
+     store into a covered word flushes the whole cache, so a live
+     block's words cannot have changed since compile);
+   - the static interlock verdict (bit [wait_flag], see
+     [compile_block]) becomes a captured boolean, so non-stalling
+     instructions skip the ready-table probes;
+   - comparison variants, trap message strings and link values are
+     pre-resolved into the closure environments.
+
+   The cycle counter is threaded through the [int] parameter (a
+   register); [st.cycle] is synced only where an exception could
+   surface it (before a memory access, before an exit/trap raise) and
+   in the epilogue. Single-argument closures are deliberate: OCaml
+   compiles an unknown 1-ary application to a direct indirect call,
+   while higher arities funnel through the shared caml_applyN
+   dispatchers, whose indirect jumps would reintroduce the
+   misprediction this design removes. The chain allocates once at
+   compile time; executing it allocates nothing. *)
+let thread_of_block st config code =
+  let len = Array.unsafe_get code 0 in
+  let entry_pc = Array.unsafe_get code 1 in
+  let terminated = Array.unsafe_get code 2 = 1 in
+  let fall_pc = entry_pc + (len lsl 2) in
+  let max_cycles = config.max_cycles in
+  (* All [len] instructions completed: batched bookkeeping, then
+     chaining — if the successor address already has a compiled block
+     and that block provably fits under the watchdog budget, enter its
+     chain directly, skipping the dispatcher and the exec_block
+     prologue. A self-looping terminator (the shape of every tight
+     kernel loop) chains to this block's own head, so the call site
+     below stays monomorphic on the hot path. *)
+  let epilogue cyc =
+    st.cycle <- cyc;
+    st.instret <- st.instret + len;
+    if st.blk_fi0 then begin
+      st.kernel_cycles <- st.kernel_cycles + (cyc - st.blk_c0);
+      st.kernel_instret <- st.kernel_instret + len;
+      book_block_counters st code len
+    end
+    else if st.fi_on then begin
+      (* fi was off and is now on: the only instruction that flips it
+         is a trailing kernel_begin marker, which the interpreter
+         counts (one cycle, no stall) *)
+      st.kernel_cycles <- st.kernel_cycles + 1;
+      st.kernel_instret <- st.kernel_instret + 1
+    end;
+    if not terminated then st.pc <- fall_pc;
+    st.n_compiled_insns <- st.n_compiled_insns + len;
+    let pc = st.pc in
+    if pc land 3 = 0 then begin
+      let idx = (pc land st.addr_mask) lsr 2 in
+      let bid = Array.unsafe_get st.block_of idx in
+      if bid >= 0 then begin
+        let ncode = Array.unsafe_get st.blocks bid in
+        if cyc + (max_cycles_per_insn * Array.unsafe_get ncode 0) < max_cycles
+        then begin
+          st.pc <- pc land st.addr_mask;
+          st.n_block_hits <- st.n_block_hits + 1;
+          st.blk_fi0 <- st.fi_on;
+          st.blk_c0 <- cyc;
+          st.blk_code <- ncode;
+          (Array.unsafe_get st.threads bid) cyc
+        end
+      end
+    end
+    (* otherwise fall back to the dispatcher: misaligned pc (trap),
+       uncompiled successor, or too close to the watchdog *)
+  in
+  let next = ref epilogue in
+  for i = len - 1 downto 0 do
+    let base = 3 + (i lsl 2) in
+    let fop = Array.unsafe_get code base in
+    let wf = fop >= wait_flag in
+    let op = fop land (wait_flag - 1) in
+    let x = Array.unsafe_get code (base + 1) in
+    let y = Array.unsafe_get code (base + 2) in
+    let z = Array.unsafe_get code (base + 3) in
+    let pc = entry_pc + (i lsl 2) in
+    let k = !next in
+    let body =
+      match op with
+      (* --- ALU register-register: x=rD y=rA z=rB --- *)
+      | 2 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.add (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.add a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Add a b r cyc else r);
+            k (cyc + 1))
+      | 3 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.sub (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.sub a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sub a b r cyc else r);
+            k (cyc + 1))
+      | 4 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.mul (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.mul a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Mul a b r cyc else r);
+            k (cyc + 1))
+      | 5 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.shift_left (reg st y) (reg st z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.shift_left a (b land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sll a b r cyc else r);
+            k (cyc + 1))
+      | 6 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.shift_right_logical (reg st y) (reg st z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.shift_right_logical a (b land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Srl a b r cyc else r);
+            k (cyc + 1))
+      | 7 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.shift_right_arith (reg st y) (reg st z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.shift_right_arith a (b land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sra a b r cyc else r);
+            k (cyc + 1))
+      | 8 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.logand (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.logand a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.And_ a b r cyc else r);
+            k (cyc + 1))
+      | 9 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.logor (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.logor a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Or_ a b r cyc else r);
+            k (cyc + 1))
+      | 10 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            set_reg st x (U32.logxor (reg st y) (reg st z));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+            let a = reg st y and b = reg st z in
+            let r = U32.logxor a b in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Xor_ a b r cyc else r);
+            k (cyc + 1))
+      (* --- ALU register-immediate: x=rD y=rA z=imm32 --- *)
+      | 11 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.add (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.add a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Add a z r cyc else r);
+            k (cyc + 1))
+      | 12 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.sub (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.sub a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sub a z r cyc else r);
+            k (cyc + 1))
+      | 13 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.mul (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.mul a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Mul a z r cyc else r);
+            k (cyc + 1))
+      | 14 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.shift_left (reg st y) (z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.shift_left a (z land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sll a z r cyc else r);
+            k (cyc + 1))
+      | 15 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.shift_right_logical (reg st y) (z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.shift_right_logical a (z land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Srl a z r cyc else r);
+            k (cyc + 1))
+      | 16 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.shift_right_arith (reg st y) (z land 31));
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.shift_right_arith a (z land 31) in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Sra a z r cyc else r);
+            k (cyc + 1))
+      | 17 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.logand (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.logand a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.And_ a z r cyc else r);
+            k (cyc + 1))
+      | 18 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.logor (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.logor a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Or_ a z r cyc else r);
+            k (cyc + 1))
+      | 19 -> (
+        match config.fault_hook with
+        | None ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            set_reg st x (U32.logxor (reg st y) z);
+            k (cyc + 1)
+        | Some h ->
+          fun cyc ->
+            let cyc = if wf then waitc st y cyc else cyc in
+            let a = reg st y in
+            let r = U32.logxor a z in
+            set_reg st x (if st.blk_fi0 then hooked h Op_class.Xor_ a z r cyc else r);
+            k (cyc + 1))
+      (* --- compares (not ALU endpoints: no fault injection) --- *)
+      | 20 ->
+        let cmp = Array.unsafe_get Uop.cmp_table x in
+        fun cyc ->
+          let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+          let va = reg st y and vb = reg st z in
+          st.flag <- flag_of_cmp cmp va vb (U32.sub va vb);
+          k (cyc + 1)
+      | 21 ->
+        let cmp = Array.unsafe_get Uop.cmp_table x in
+        fun cyc ->
+          let cyc = if wf then waitc st y cyc else cyc in
+          let va = reg st y in
+          st.flag <- flag_of_cmp cmp va z (U32.sub va z);
+          k (cyc + 1)
+      (* --- control flow (always the last quad of a block) --- *)
+      | 22 ->
+        fun cyc ->
+          st.taken_branches <- st.taken_branches + 1;
+          st.pc <- x;
+          k (cyc + 1 + branch_penalty)
+      | 23 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          st.cycle <- cyc;
+          raise (Exit_sim Watchdog) (* jump-to-self: infinite loop *)
+      | 24 ->
+        fun cyc ->
+          set_reg st Insn.link_register y;
+          st.taken_branches <- st.taken_branches + 1;
+          st.pc <- x;
+          k (cyc + 1 + branch_penalty)
+      | 25 ->
+        fun cyc ->
+          let cyc = if wf then waitc st x cyc else cyc in
+          st.taken_branches <- st.taken_branches + 1;
+          st.pc <- reg st x;
+          k (cyc + 1 + branch_penalty)
+      | 26 ->
+        fun cyc ->
+          let cyc = if wf then waitc st x cyc else cyc in
+          let target = reg st x in
+          set_reg st Insn.link_register y;
+          st.taken_branches <- st.taken_branches + 1;
+          st.pc <- target;
+          k (cyc + 1 + branch_penalty)
+      | 27 ->
+        fun cyc ->
+          if st.flag then begin
+            st.taken_branches <- st.taken_branches + 1;
+            st.pc <- x;
+            k (cyc + 1 + branch_penalty)
+          end
+          else begin
+            st.pc <- fall_pc;
+            k (cyc + 1)
+          end
+      | 28 ->
+        fun cyc ->
+          if not st.flag then begin
+            st.taken_branches <- st.taken_branches + 1;
+            st.pc <- x;
+            k (cyc + 1 + branch_penalty)
+          end
+          else begin
+            st.pc <- fall_pc;
+            k (cyc + 1)
+          end
+      (* --- loads: x=rD y=imm32 z=rA ---
+         [blk_i]/[blk_before] record progress before the access in case
+         it traps on misalignment; [blk_before] is pre-stall and
+         [st.cycle] is synced post-stall, so a trap leaves exactly the
+         interpreter's accounting: stall cycles in [cycles], none of
+         the instruction in the kernel window *)
+      | 29 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z cyc else cyc in
+          st.cycle <- cyc;
+          set_reg st x (Memory.read_u32 st.mem (U32.add (reg st z) y));
+          if x <> 0 then Array.unsafe_set st.ready x (cyc + 1 + load_use_penalty);
+          k (cyc + 1)
+      | 30 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z cyc else cyc in
+          st.cycle <- cyc;
+          set_reg st x (Memory.read_u16 st.mem (U32.add (reg st z) y));
+          if x <> 0 then Array.unsafe_set st.ready x (cyc + 1 + load_use_penalty);
+          k (cyc + 1)
+      | 31 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z cyc else cyc in
+          st.cycle <- cyc;
+          set_reg st x (Memory.read_u8 st.mem (U32.add (reg st z) y));
+          if x <> 0 then Array.unsafe_set st.ready x (cyc + 1 + load_use_penalty);
+          k (cyc + 1)
+      (* --- stores: x=imm32 y=rA z=rB --- *)
+      | 32 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+          st.cycle <- cyc;
+          let addr = U32.add (reg st y) x in
+          Memory.write_u32 st.mem addr (reg st z);
+          invalidate st addr;
+          if st.aborted then abort_block st code entry_pc (cyc + 1) i;
+          k (cyc + 1)
+      | 33 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+          st.cycle <- cyc;
+          let addr = U32.add (reg st y) x in
+          Memory.write_u16 st.mem addr (reg st z);
+          invalidate st addr;
+          if st.aborted then abort_block st code entry_pc (cyc + 1) i;
+          k (cyc + 1)
+      | 34 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          let cyc = if wf then waitc st z (waitc st y cyc) else cyc in
+          st.cycle <- cyc;
+          let addr = U32.add (reg st y) x in
+          Memory.write_u8 st.mem addr (reg st z);
+          invalidate st addr;
+          if st.aborted then abort_block st code entry_pc (cyc + 1) i;
+          k (cyc + 1)
+      (* --- nops --- *)
+      | 35 -> fun cyc -> k (cyc + 1)
+      | 36 ->
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          st.cycle <- cyc;
+          raise (Exit_sim Exited)
+      | 37 ->
+        fun cyc ->
+          st.fi_on <- true;
+          st.pc <- fall_pc;
+          k (cyc + 1)
+      | 38 ->
+        let fa = config.fi_always_on in
+        fun cyc ->
+          st.fi_on <- fa;
+          st.pc <- fall_pc;
+          k (cyc + 1)
+      | _ ->
+        (* u_illegal (or, unreachably, u_unfilled): traps at fetch,
+           exactly like the interpreter, before the trace hook runs *)
+        let msg = Printf.sprintf "illegal instruction at 0x%x" pc in
+        fun cyc ->
+          st.blk_i <- i;
+          st.blk_before <- cyc;
+          st.cycle <- cyc;
+          raise (Exit_sim (Trapped msg))
+    in
+    let body =
+      match config.trace with
+      | None -> body
+      | Some f ->
+        if op = Uop.u_illegal then body
+        else (
+          match Encode.decode (Memory.read_u32 st.mem pc) with
+          | Some insn ->
+            fun cyc ->
+              f ~pc insn;
+              body cyc
+          | None -> body)
+    in
+    next := body
+  done;
+  !next
+
+let compile_block st config entry_idx =
+  let u = st.utab in
+  let n_words = Array.length st.block_of in
+  let len = ref 0 in
+  let stop = ref false in
+  let terminated = ref false in
+  while not !stop do
+    let w = entry_idx + !len in
+    if w >= n_words || !len >= max_block_insns then stop := true
+    else begin
+      if Array.unsafe_get u (w lsl 2) = Uop.u_unfilled then
+        Uop.decode_into u ~idx:w ~addr_mask:st.addr_mask (Memory.read_u32 st.mem (w lsl 2));
+      incr len;
+      if is_terminator (Array.unsafe_get u (w lsl 2)) then begin
+        stop := true;
+        terminated := true
+      end
+    end
+  done;
+  let len = !len in
+  (* Static fi-window counter totals: retired-class counters are gated
+     on [fi_on], which is constant across a block, so a completed block
+     can book them in one step instead of per instruction. The totals
+     live after the quads: [alu; control; memory; n_pairs; (class_idx,
+     count) pairs for the nonzero ALU classes]. *)
+  let class_totals = Array.make Op_class.count 0 in
+  let alu_total = ref 0 and ctl_total = ref 0 and mem_total = ref 0 in
+  for i = 0 to len - 1 do
+    let op = Array.unsafe_get u ((entry_idx + i) lsl 2) in
+    if op >= Uop.u_alu_rr && op <= Uop.u_alu_ri + 8 then begin
+      incr alu_total;
+      let k = if op < Uop.u_alu_ri then op - Uop.u_alu_rr else op - Uop.u_alu_ri in
+      class_totals.(k) <- class_totals.(k) + 1
+    end
+    else if op >= Uop.u_j && op <= Uop.u_bnf then incr ctl_total
+    else if op >= Uop.u_lwz && op <= Uop.u_sb then incr mem_total
+  done;
+  let n_pairs = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 class_totals in
+  let cb = 3 + (len lsl 2) in
+  let code = Array.make (cb + 4 + (n_pairs lsl 1)) 0 in
+  code.(0) <- len;
+  code.(1) <- entry_idx lsl 2;
+  code.(2) <- (if !terminated then 1 else 0);
+  Array.blit u (entry_idx lsl 2) code 3 (len lsl 2);
+  code.(cb) <- !alu_total;
+  code.(cb + 1) <- !ctl_total;
+  code.(cb + 2) <- !mem_total;
+  code.(cb + 3) <- n_pairs;
+  let p = ref (cb + 4) in
+  Array.iteri
+    (fun k c ->
+      if c > 0 then begin
+        code.(!p) <- k;
+        code.(!p + 1) <- c;
+        p := !p + 2
+      end)
+    class_totals;
+  (* Static interlock elision: a load schedules ready = cycle + 2, so
+     only the instruction immediately after it can ever stall. Mark the
+     quads that must probe the ready table at run time — the first quad
+     of the block (its dynamic predecessor is unknown: a fall-through
+     or single-stepped path can end in a load) and any quad whose
+     in-block predecessor is a load to a register it reads — by setting
+     [wait_flag] on the block-local copy of the opcode. The shared
+     [utab] is never flagged: the interpreter probes unconditionally. *)
+  for i = 0 to len - 1 do
+    let base = 3 + (i lsl 2) in
+    let op = Array.unsafe_get code base in
+    (* register read set per opcode layout (Uop): rr/sf/stores read
+       y and z, ri/sfi read y, jr/jalr read x, loads read z *)
+    let reads_regs =
+      (op >= Uop.u_alu_rr && op <= Uop.u_sfi)
+      || op = Uop.u_jr || op = Uop.u_jalr
+      || (op >= Uop.u_lwz && op <= Uop.u_sb)
+    in
+    if reads_regs then begin
+      let needs_wait =
+        if i = 0 then true
+        else begin
+          let pbase = base - 4 in
+          (* the predecessor may already carry wait_flag (set when it
+             was processed, e.g. as the first quad): strip it *)
+          let pop = Array.unsafe_get code pbase land (wait_flag - 1) in
+          if pop >= Uop.u_lwz && pop <= Uop.u_lbz then begin
+            let d = Array.unsafe_get code (pbase + 1) in
+            d <> 0
+            &&
+            if op >= Uop.u_alu_rr && op < Uop.u_alu_ri then
+              Array.unsafe_get code (base + 2) = d
+              || Array.unsafe_get code (base + 3) = d
+            else if op < Uop.u_sf || op = Uop.u_sfi then
+              Array.unsafe_get code (base + 2) = d
+            else if op = Uop.u_sf || (op >= Uop.u_sw && op <= Uop.u_sb) then
+              Array.unsafe_get code (base + 2) = d
+              || Array.unsafe_get code (base + 3) = d
+            else if op = Uop.u_jr || op = Uop.u_jalr then
+              Array.unsafe_get code (base + 1) = d
+            else (* loads: base register in z *)
+              Array.unsafe_get code (base + 3) = d
+          end
+          else false
+        end
+      in
+      if needs_wait then Array.unsafe_set code base (op lor wait_flag)
+    end
+  done;
+  for i = 0 to len - 1 do
+    let w = entry_idx + i in
+    Array.unsafe_set st.covered w (Array.unsafe_get st.covered w + 1)
+  done;
+  if st.n_blocks = Array.length st.blocks then begin
+    let cap = 2 * Array.length st.blocks in
+    let bigger = Array.make cap [||] in
+    Array.blit st.blocks 0 bigger 0 st.n_blocks;
+    st.blocks <- bigger;
+    let bigger_t = Array.make cap (fun (_ : int) -> ()) in
+    Array.blit st.threads 0 bigger_t 0 st.n_blocks;
+    st.threads <- bigger_t
+  end;
+  let bid = st.n_blocks in
+  st.blocks.(bid) <- code;
+  st.threads.(bid) <- thread_of_block st config code;
+  st.block_of.(entry_idx) <- bid;
+  st.n_blocks <- bid + 1;
+  st.n_blocks_compiled <- st.n_blocks_compiled + 1;
+  bid
+
+(* Runs one cached block by entering its closure chain. Architecturally
+   identical to running [step] over each instruction — the chain
+   preserves the interpreter's cycle accounting, hook streams and trap
+   points exactly; see thread_of_block. The handler performs the exact
+   per-instruction patch-up for the [st.blk_i] completed predecessors
+   of a raising instruction: the raising instruction itself retires
+   nothing, exactly like the interpreter, and its kernel window ends at
+   [st.blk_before] — the cycle at its fetch — because a trapping
+   load/store may have stalled on the interlock first, and those cycles
+   count toward [cycles] but not toward the kernel window. *)
+let exec_block st code head =
+  st.blk_fi0 <- st.fi_on;
+  st.blk_c0 <- st.cycle;
+  st.blk_code <- code;
+  st.aborted <- false;
+  try head st.cycle with
+  | Block_aborted -> ()
+  | (Exit_sim _ | Memory.Trap _) as e ->
+    (* [st.blk_code] rather than [code]: the chain may have crossed
+       into other blocks since this dispatch. *)
+    let code = st.blk_code in
+    let retired = st.blk_i in
+    st.instret <- st.instret + retired;
+    if st.blk_fi0 then begin
+      st.kernel_cycles <- st.kernel_cycles + (st.blk_before - st.blk_c0);
+      st.kernel_instret <- st.kernel_instret + retired;
+      book_partial_counters st code retired;
+      (* The interpreter counts a load/store toward [memory_retired]
+         before the access that traps, and jump-to-self toward
+         [control_retired] before raising Watchdog (exit markers and
+         illegal words count nothing), so the raising quad needs the
+         same classification on top of its completed predecessors. *)
+      let rop = Array.unsafe_get code (3 + (retired lsl 2)) land (wait_flag - 1) in
+      if rop >= Uop.u_lwz && rop <= Uop.u_sb then
+        st.memory_retired <- st.memory_retired + 1
+      else if rop = Uop.u_j_self then st.control_retired <- st.control_retired + 1
+    end;
+    st.n_compiled_insns <- st.n_compiled_insns + retired;
+    raise e
+
+let run_compiled st config =
+  let max_cycles = config.max_cycles in
+  while true do
+    if st.cycle >= max_cycles then raise (Exit_sim Watchdog);
+    if st.pc land 3 <> 0 then
+      raise (Exit_sim (Trapped (Printf.sprintf "misaligned pc 0x%x" st.pc)));
+    st.pc <- st.pc land st.addr_mask;
+    let idx = st.pc lsr 2 in
+    let bid = Array.unsafe_get st.block_of idx in
+    let bid =
+      if bid >= 0 then begin
+        st.n_block_hits <- st.n_block_hits + 1;
+        bid
+      end
+      else compile_block st config idx
+    in
+    let code = Array.unsafe_get st.blocks bid in
+    if st.cycle + (max_cycles_per_insn * Array.unsafe_get code 0) >= max_cycles
+    then begin
+      (* close enough to the watchdog that an instruction inside the
+         block could cross the budget: take the exact per-insn path *)
+      st.n_fallbacks <- st.n_fallbacks + 1;
+      step st config
+    end
+    else exec_block st code (Array.unsafe_get st.threads bid)
+  done
+
+let run ?(config = default_config) ?engine mem ~entry =
+  let engine = match engine with Some e -> e | None -> !default_engine in
+  let compiled = match engine with Interp -> false | Auto | Compiled -> true in
+  let size = Memory.size mem in
+  (* Memory.create already rejects these; re-checked here because the
+     fetch wrap and invalidate mask silently alias wrong addresses on a
+     non-power-of-two size. *)
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Cpu.run: memory size must be a positive power of two";
+  let n_words = size / 4 in
   let st =
     {
       mem;
+      addr_mask = size - 1;
       regs = Array.make 32 0;
       pc = entry;
       flag = false;
@@ -107,248 +1252,29 @@ let run ?(config = default_config) mem ~entry =
       memory_retired = 0;
       taken_branches = 0;
       ready = Array.make 32 0;
-      decode_cache = Array.make (Memory.size mem / 4) None;
+      utab = Array.make (n_words * 4) Uop.u_unfilled;
+      compiled;
+      covered = (if compiled then Array.make n_words 0 else [||]);
+      block_of = (if compiled then Array.make n_words (-1) else [||]);
+      blocks = (if compiled then Array.make 64 [||] else [||]);
+      threads = (if compiled then Array.make 64 (fun (_ : int) -> ()) else [||]);
+      n_blocks = 0;
+      aborted = false;
+      blk_i = 0;
+      blk_before = 0;
+      blk_fi0 = false;
+      blk_c0 = 0;
+      blk_code = [||];
+      n_blocks_compiled = 0;
+      n_block_hits = 0;
+      n_block_flushes = 0;
+      n_invalidations = 0;
+      n_compiled_insns = 0;
+      n_fallbacks = 0;
     }
   in
-  let reg r = if r = 0 then 0 else st.regs.(r) in
-  let set_reg r v = if r <> 0 then st.regs.(r) <- v in
-  let wait r = if r <> 0 && st.ready.(r) > st.cycle then st.cycle <- st.ready.(r) in
-  let decode_at pc =
-    let idx = pc lsr 2 in
-    match st.decode_cache.(idx) with
-    | Some cached -> cached
-    | None ->
-      let d = Encode.decode (Memory.read_u32 st.mem pc) in
-      st.decode_cache.(idx) <- Some d;
-      d
-  in
-  let invalidate addr =
-    (* Wrap with the SRAM decoder mask exactly like the data path: a
-       store through a fault-corrupted high-bit pointer clobbers the
-       same wrapped location [Memory.write_u32] wrote, so its cached
-       decode must be dropped, not skipped as "out of range". *)
-    let idx = (addr land (Memory.size st.mem - 1)) lsr 2 in
-    st.decode_cache.(idx) <- None
-  in
-  let alu_result cls a b =
-    let clean = Op_class.apply cls a b in
-    let faulted =
-      if st.fi_on then
-        match config.fault_hook with
-        | Some hook ->
-          let mask = hook ~cycle:st.cycle ~cls ~a ~b ~result:clean in
-          if mask = 0 then clean else clean lxor mask
-        | None -> clean
-      else clean
-    in
-    st.alu_retired <- st.alu_retired + (if st.fi_on then 1 else 0);
-    if st.fi_on then begin
-      let i = Op_class.index cls in
-      st.class_counts.(i) <- st.class_counts.(i) + 1
-    end;
-    faulted
-  in
-  let exception Exit_sim of outcome in
-  let run_insn insn =
-    let next = st.pc + 4 in
-    let jump_to target =
-      st.taken_branches <- st.taken_branches + 1;
-      st.cycle <- st.cycle + branch_penalty;
-      st.pc <- target
-    in
-    let branch_target n = st.pc + (n lsl 2) in
-    let count_control () =
-      if st.fi_on then st.control_retired <- st.control_retired + 1
-    in
-    let count_memory () =
-      if st.fi_on then st.memory_retired <- st.memory_retired + 1
-    in
-    (match insn with
-    (* --- ALU register-register --- *)
-    | Insn.Add (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Add (reg a) (reg b));
-      st.pc <- next
-    | Insn.Sub (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Sub (reg a) (reg b));
-      st.pc <- next
-    | Insn.And (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.And_ (reg a) (reg b));
-      st.pc <- next
-    | Insn.Or (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Or_ (reg a) (reg b));
-      st.pc <- next
-    | Insn.Xor (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Xor_ (reg a) (reg b));
-      st.pc <- next
-    | Insn.Mul (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Mul (reg a) (reg b));
-      st.pc <- next
-    | Insn.Sll (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Sll (reg a) (reg b));
-      st.pc <- next
-    | Insn.Srl (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Srl (reg a) (reg b));
-      st.pc <- next
-    | Insn.Sra (d, a, b) ->
-      wait a; wait b;
-      set_reg d (alu_result Op_class.Sra (reg a) (reg b));
-      st.pc <- next
-    (* --- ALU register-immediate --- *)
-    | Insn.Addi (d, a, i) ->
-      wait a;
-      set_reg d (alu_result Op_class.Add (reg a) (U32.of_signed i));
-      st.pc <- next
-    | Insn.Andi (d, a, i) ->
-      wait a;
-      set_reg d (alu_result Op_class.And_ (reg a) (i land 0xFFFF));
-      st.pc <- next
-    | Insn.Ori (d, a, i) ->
-      wait a;
-      set_reg d (alu_result Op_class.Or_ (reg a) (i land 0xFFFF));
-      st.pc <- next
-    | Insn.Xori (d, a, i) ->
-      wait a;
-      set_reg d (alu_result Op_class.Xor_ (reg a) (U32.of_signed i));
-      st.pc <- next
-    | Insn.Muli (d, a, i) ->
-      wait a;
-      set_reg d (alu_result Op_class.Mul (reg a) (U32.of_signed i));
-      st.pc <- next
-    | Insn.Slli (d, a, s) ->
-      wait a;
-      set_reg d (alu_result Op_class.Sll (reg a) s);
-      st.pc <- next
-    | Insn.Srli (d, a, s) ->
-      wait a;
-      set_reg d (alu_result Op_class.Srl (reg a) s);
-      st.pc <- next
-    | Insn.Srai (d, a, s) ->
-      wait a;
-      set_reg d (alu_result Op_class.Sra (reg a) s);
-      st.pc <- next
-    | Insn.Movhi (d, k) ->
-      set_reg d (alu_result Op_class.Or_ 0 ((k land 0xFFFF) lsl 16));
-      st.pc <- next
-    (* --- compares: the subtractor computes the difference, but the flag
-       flip-flop is not an ALU endpoint, so no fault is injected here
-       (paper Sec. 2.1: only the 32 EX result-register endpoints can
-       fail). Corrupted branching still happens indirectly, through
-       previously faulted values and indices reaching a compare. --- *)
-    | Insn.Sf (c, a, b) ->
-      wait a; wait b;
-      let va = reg a and vb = reg b in
-      st.flag <- flag_of_cmp c va vb (U32.sub va vb);
-      st.pc <- next
-    | Insn.Sfi (c, a, i) ->
-      wait a;
-      let va = reg a and vb = U32.of_signed i in
-      st.flag <- flag_of_cmp c va vb (U32.sub va vb);
-      st.pc <- next
-    (* --- control flow --- *)
-    | Insn.J n ->
-      count_control ();
-      if n = 0 then raise (Exit_sim Watchdog) (* jump-to-self: infinite loop *)
-      else jump_to (branch_target n)
-    | Insn.Jal n ->
-      count_control ();
-      set_reg Insn.link_register (U32.of_int (st.pc + 4));
-      jump_to (branch_target n)
-    | Insn.Jr r ->
-      count_control ();
-      wait r;
-      jump_to (reg r)
-    | Insn.Jalr r ->
-      count_control ();
-      wait r;
-      let target = reg r in
-      set_reg Insn.link_register (U32.of_int (st.pc + 4));
-      jump_to target
-    | Insn.Bf n ->
-      count_control ();
-      if st.flag then jump_to (branch_target n) else st.pc <- next
-    | Insn.Bnf n ->
-      count_control ();
-      if not st.flag then jump_to (branch_target n) else st.pc <- next
-    (* --- memory --- *)
-    | Insn.Lwz (d, i, a) ->
-      count_memory ();
-      wait a;
-      set_reg d (Memory.read_u32 st.mem (U32.add (reg a) (U32.of_signed i)));
-      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
-      st.pc <- next
-    | Insn.Lhz (d, i, a) ->
-      count_memory ();
-      wait a;
-      set_reg d (Memory.read_u16 st.mem (U32.add (reg a) (U32.of_signed i)));
-      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
-      st.pc <- next
-    | Insn.Lbz (d, i, a) ->
-      count_memory ();
-      wait a;
-      set_reg d (Memory.read_u8 st.mem (U32.add (reg a) (U32.of_signed i)));
-      if d <> 0 then st.ready.(d) <- st.cycle + 1 + load_use_penalty;
-      st.pc <- next
-    | Insn.Sw (i, a, b) ->
-      count_memory ();
-      wait a; wait b;
-      let addr = U32.add (reg a) (U32.of_signed i) in
-      Memory.write_u32 st.mem addr (reg b);
-      invalidate addr;
-      st.pc <- next
-    | Insn.Sh (i, a, b) ->
-      count_memory ();
-      wait a; wait b;
-      let addr = U32.add (reg a) (U32.of_signed i) in
-      Memory.write_u16 st.mem addr (reg b);
-      invalidate addr;
-      st.pc <- next
-    | Insn.Sb (i, a, b) ->
-      count_memory ();
-      wait a; wait b;
-      let addr = U32.add (reg a) (U32.of_signed i) in
-      Memory.write_u8 st.mem addr (reg b);
-      invalidate addr;
-      st.pc <- next
-    | Insn.Nop k ->
-      if k = Insn.nop_exit then raise (Exit_sim Exited)
-      else if k = Insn.nop_kernel_begin then st.fi_on <- true
-      else if k = Insn.nop_kernel_end then st.fi_on <- (if config.fi_always_on then true else false);
-      st.pc <- next);
-    st.cycle <- st.cycle + 1;
-    st.instret <- st.instret + 1
-  in
   try
-    while true do
-      if st.cycle >= config.max_cycles then raise (Exit_sim Watchdog);
-      if st.pc land 3 <> 0 then
-        raise (Exit_sim (Trapped (Printf.sprintf "misaligned pc 0x%x" st.pc)));
-      (* The fetch address wraps with the SRAM decoder, like data
-         accesses: a corrupted jump lands somewhere in memory and the
-         core executes whatever it finds (often an illegal encoding). *)
-      st.pc <- st.pc land (Memory.size st.mem - 1);
-      match decode_at st.pc with
-      | None ->
-        raise (Exit_sim (Trapped (Printf.sprintf "illegal instruction at 0x%x" st.pc)))
-      | Some insn ->
-        (match config.trace with
-        | Some f -> f ~pc:st.pc insn
-        | None -> ());
-        let was_on = st.fi_on in
-        let before = st.cycle in
-        run_insn insn;
-        if was_on || st.fi_on then begin
-          st.kernel_cycles <- st.kernel_cycles + (st.cycle - before);
-          st.kernel_instret <- st.kernel_instret + 1
-        end
-    done;
+    if compiled then run_compiled st config else run_interp st config;
     assert false
   with
   | Exit_sim outcome -> finish st outcome

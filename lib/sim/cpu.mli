@@ -26,7 +26,16 @@
     faulted) difference, so timing errors can redirect branches — the
     dominant cause of crashes and infinite loops. FI is gated to the
     benchmark kernel by [l.nop 0x10] / [l.nop 0x11] markers, and
-    [l.nop 0x1] exits the simulation (or1ksim conventions). *)
+    [l.nop 0x1] exits the simulation (or1ksim conventions).
+
+    Two execution engines produce bit-identical results (same
+    {!stats}, same fault-hook call sequence, pinned by differential
+    tests): the {e interpreter} fetches one pre-resolved micro-op
+    ({!Sfi_isa.Uop}) per cycle from an unboxed decode table, and the
+    {e compiled} engine groups straight-line runs into cached basic
+    blocks executed without per-instruction fetch/decode/watchdog
+    overhead, with store-driven invalidation for self-modifying code.
+    See DESIGN.md §12 for the cycle-exactness argument. *)
 
 open Sfi_util
 
@@ -71,9 +80,25 @@ type stats = {
   taken_branches : int;
 }
 
-val run : ?config:config -> Memory.t -> entry:int -> stats
+type engine =
+  | Auto      (** resolves to [Compiled] *)
+  | Interp    (** per-instruction micro-op interpreter *)
+  | Compiled  (** threaded-code basic-block trace cache *)
+
+val set_default_engine : engine -> unit
+(** Sets the process-wide engine used when {!run} gets no [?engine]
+    (the [--cpu-engine] flag lands here). The initial default is
+    [Auto], overridable by the [SFI_CPU_ENGINE] environment variable
+    ("interp" or "compiled"). *)
+
+val engine_name : engine -> string
+
+val run : ?config:config -> ?engine:engine -> Memory.t -> entry:int -> stats
 (** Executes until exit, watchdog, or trap. The memory is mutated in
-    place (reload or {!Memory.copy} a pristine image between trials). *)
+    place (reload or {!Memory.copy} a pristine image between trials).
+    [engine] (default: the {!set_default_engine} value) picks the
+    execution engine; both produce bit-identical stats and fault-hook
+    streams, so this is purely a performance knob. *)
 
 val ipc : stats -> float
 (** Retired instructions per cycle. *)

@@ -27,11 +27,18 @@ let apply c a b =
   | Or_ -> U32.logor a b
   | Xor_ -> U32.logxor a b
 
-let index c =
-  let rec find i = function
-    | [] -> assert false
-    | x :: rest -> if x = c then i else find (i + 1) rest
-  in
-  find 0 all
+(* Direct match, in [all]'s order: the list-walking version allocated
+   its recursive closure on every call, and this sits on the decoder's
+   allocation-free path. *)
+let index = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Sll -> 3
+  | Srl -> 4
+  | Sra -> 5
+  | And_ -> 6
+  | Or_ -> 7
+  | Xor_ -> 8
 
 let count = List.length all

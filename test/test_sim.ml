@@ -29,8 +29,26 @@ let test_memory_misalignment_traps () =
   Alcotest.(check bool) "half read" true (raises (fun () -> ignore (Memory.read_u16 m 1)))
 
 let test_memory_rejects_bad_size () =
-  Alcotest.(check bool) "non power of two" true
-    (try ignore (Memory.create ~size:48); false with Invalid_argument _ -> true)
+  (* The fetch wrap and the decode-cache invalidation mask are
+     [addr land (size - 1)]: on a non-power-of-two size they silently
+     alias wrong addresses, so creation must reject (Cpu.run re-checks
+     the same invariant on its own entry path). *)
+  let rejected size =
+    try
+      ignore (Memory.create ~size);
+      false
+    with Invalid_argument _ -> true
+  in
+  List.iter
+    (fun size ->
+      Alcotest.(check bool) (Printf.sprintf "size %d rejected" size) true (rejected size))
+    [ 48; 0; -64; 3; 4095; 65537 ];
+  List.iter
+    (fun size ->
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d accepted" size)
+        false (rejected size))
+    [ 4; 64; 4096; 65536 ]
 
 let test_memory_copy_independent () =
   let m = Memory.create ~size:64 in
