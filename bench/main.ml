@@ -50,7 +50,7 @@ let bechamel_suite () =
       Test.make ~name:"fig1:bplus-injector-hook"
         (Staged.stage (fun () ->
              let injector =
-               Sfi_fi.Injector.create ~model:model_bplus ~freq_mhz:663. ~rng
+               Sfi_fi.Injector.create ~model:model_bplus ~freq_mhz:663. ~rng ()
              in
              ignore
                (Sfi_fi.Injector.hook injector ~cycle:0 ~cls:Op_class.Add ~a:1 ~b:2
@@ -64,7 +64,7 @@ let bechamel_suite () =
         (Staged.stage (fun () -> ignore (Sfi_timing.Sta.analyze alu.Sfi_netlist.Alu.circuit)));
       Test.make ~name:"fig4:model-c-op-stream-100"
         (Staged.stage (fun () ->
-             let injector = Sfi_fi.Injector.create ~model:model_c ~freq_mhz:850. ~rng in
+             let injector = Sfi_fi.Injector.create ~model:model_c ~freq_mhz:850. ~rng () in
              let hook = Sfi_fi.Injector.hook injector in
              for i = 1 to 100 do
                let a = Rng.bits32 rng and b = Rng.bits32 rng in
@@ -194,7 +194,7 @@ let perf_metrics () =
   let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
   let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
   let injector =
-    Sfi_fi.Injector.create ~model ~freq_mhz:(fsta *. 1.15) ~rng
+    Sfi_fi.Injector.create ~model ~freq_mhz:(fsta *. 1.15) ~rng ()
   in
   let hook = Sfi_fi.Injector.hook injector in
   let call i cls =
@@ -531,6 +531,120 @@ let adaptive_vs_fixed () =
     r.max_rate_dev;
   r
 
+(* ---------- fast-forward vs full replay ---------- *)
+
+type ff_cmp = {
+  ff_trials : int;
+  ff_freq_mhz : float;
+  ff_elided : int;
+  ff_restores : int;
+  full_wall_s : float;
+  ff_wall_s : float;
+}
+
+(* The snapshot fast-forward payoff, measured where it matters: a
+   model-C k-means point just past the provable no-fault region, where
+   most trials are fault-free and full replay burns its time proving
+   that one ISS run at a time. The analytic first-fault sampler elides
+   those trials outright; the rest restore a snapshot and simulate only
+   the suffix. Bit-identity is asserted through the same sfi-point/1
+   rendering the golden tests use; recording and reference-cycle costs
+   are warmed out of the timed region (they are one-time and cached). *)
+let fastforward_compare () =
+  let flow = Flow.create ~config:{ Flow.default_config with Flow.char_cycles = 400 } () in
+  let bench =
+    match Sfi_kernels.Registry.by_name "kmeans" with
+    | Some b -> b
+    | None -> failwith "fastforward compare: kmeans not in registry"
+  in
+  let fsta = Flow.sta_limit_mhz flow ~vdd:0.7 in
+  let model = Flow.model_c flow ~vdd:0.7 ~sigma:0.010 () in
+  let ref_cycles = Sfi_fi.Campaign.reference_cycles bench in
+  (* warm the snapshot trace out of the timed region (one-time, cached) *)
+  (match
+     Sfi_fi.Fastforward.trace_for ~bench
+       ~stride:(Sfi_fi.Fastforward.stride_for ~ref_cycles)
+   with
+  | Some _ -> ()
+  | None -> failwith "fastforward compare: kmeans reference run did not exit");
+  (* The rare-fault operating point: just past the injector's provable
+     no-fault boundary, which bisection pins to a fraction of a MHz.
+     kmeans fires tens of thousands of hooks per run, so even here only
+     ~3 in 4 trials stay fault-free — any higher and nearly every trial
+     faults, erasing the regime this comparison is about. *)
+  let freq_mhz =
+    let cannot f =
+      Sfi_fi.Injector.cannot_inject
+        (Sfi_fi.Injector.create ~count_obs:false ~model ~freq_mhz:f
+           ~rng:(Sfi_util.Rng.of_int 1) ())
+    in
+    let lo = ref (fsta *. 0.9) and hi = ref (fsta *. 1.1) in
+    for _ = 1 to 40 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if cannot mid then lo := mid else hi := mid
+    done;
+    !hi *. 1.0002
+  in
+  let trials = 24 in
+  let module Spec = Sfi_fi.Campaign.Spec in
+  (* One worker on both sides: this compares elision against full
+     replay, and domain-scheduling overhead on small hosts would only
+     add the same noise to both walls (the pool has its own smoke). *)
+  let spec mode =
+    Spec.(
+      default |> with_trials trials |> with_seed 2 |> with_jobs 1
+      |> with_fastforward mode)
+  in
+  let run mode =
+    let t0 = Unix.gettimeofday () in
+    let p = Sfi_fi.Campaign.run (spec mode) ~bench ~model ~freq_mhz in
+    (p, Unix.gettimeofday () -. t0)
+  in
+  (* Best-of-3 walls, like the ISS compare: runs are deterministic, so
+     any rep disagreeing is a hard failure and the work counters divide
+     exactly by the rep count. *)
+  Gc.compact ();
+  let reps = 3 in
+  let best mode =
+    let p = ref None and best = ref infinity in
+    for _ = 1 to reps do
+      let q, w = run mode in
+      (match !p with
+      | None -> p := Some q
+      | Some p0 ->
+        if not (points_equal [ p0 ] [ q ]) then
+          failwith "fastforward compare: repeated run diverged");
+      if w < !best then best := w
+    done;
+    (Option.get !p, !best)
+  in
+  let c_elided = Sfi_obs.Counter.make ~det:false "fastforward.trials_elided" in
+  let c_restores = Sfi_obs.Counter.make ~det:false "fastforward.restores" in
+  let e0 = Sfi_obs.Counter.value c_elided in
+  let r0 = Sfi_obs.Counter.value c_restores in
+  let p_full, full_wall_s = best Spec.Off in
+  let p_ff, ff_wall_s = best Spec.On in
+  if not (points_equal [ p_full ] [ p_ff ]) then
+    failwith "fastforward compare: fast-forwarded point differs from full replay";
+  let r =
+    {
+      ff_trials = trials;
+      ff_freq_mhz = freq_mhz;
+      ff_elided = (Sfi_obs.Counter.value c_elided - e0) / reps;
+      ff_restores = (Sfi_obs.Counter.value c_restores - r0) / reps;
+      full_wall_s;
+      ff_wall_s;
+    }
+  in
+  Printf.printf
+    "fastforward compare: kmeans x %d trials at %.0f MHz, full replay %.2f s, \
+     fast-forward %.2f s (%.2fx; %d elided, %d suffix restores), results \
+     bit-identical\n%!"
+    r.ff_trials r.ff_freq_mhz full_wall_s ff_wall_s
+    (full_wall_s /. Float.max 1e-9 ff_wall_s)
+    r.ff_elided r.ff_restores;
+  r
+
 (* ---------- cache round-trip: cold vs warm characterization ---------- *)
 
 type cache_rt = {
@@ -588,11 +702,11 @@ let json_escape s =
   Buffer.contents buf
 
 let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cache
-    ~adaptive ~kernels ~iss =
+    ~adaptive ~kernels ~iss ~fastforward =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"sfi-bench/7\",\n";
+  add "  \"schema\": \"sfi-bench/8\",\n";
   add "  \"generated_unix\": %.0f,\n" (Unix.time ());
   add "  \"jobs\": %d,\n" (Pool.default_jobs ());
   add "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
@@ -665,6 +779,16 @@ let write_bench_json ~path ~scale_label ~experiments ~bechamel ~smoke ~perf ~cac
       a.fixed_wall_s a.adaptive_wall_s
       (a.fixed_wall_s /. Float.max 1e-9 a.adaptive_wall_s)
       a.max_rate_dev);
+  (* sfi-bench/8: the fast-forward comparison object *)
+  (match fastforward with
+  | None -> add "  \"fastforward\": null,\n"
+  | Some (f : ff_cmp) ->
+    add
+      "  \"fastforward\": {\"bench\": \"kmeans\", \"trials\": %d, \"freq_mhz\": %.1f, \
+       \"elided\": %d, \"restores\": %d, \"full_wall_s\": %.3f, \
+       \"fastforward_wall_s\": %.3f, \"speedup\": %.2f, \"identical_results\": true},\n"
+      f.ff_trials f.ff_freq_mhz f.ff_elided f.ff_restores f.full_wall_s f.ff_wall_s
+      (f.full_wall_s /. Float.max 1e-9 f.ff_wall_s));
   (match smoke with
   | None -> add "  \"parallel_smoke\": null\n"
   | Some s ->
@@ -728,9 +852,12 @@ let () =
       failwith "iss compare: compiled engine slower than the interpreter";
     let smoke = parallel_smoke () in
     let adaptive = adaptive_vs_fixed () in
+    let ff = fastforward_compare () in
+    if ff.full_wall_s /. Float.max 1e-9 ff.ff_wall_s < 2.0 then
+      failwith "fastforward compare: less than 2x faster than full replay";
     write_bench_json ~path:"BENCH.json" ~scale_label:"smoke" ~experiments:[] ~bechamel:[]
       ~smoke:(Some smoke) ~perf:None ~cache:None ~adaptive:(Some adaptive) ~kernels
-      ~iss:(Some iss)
+      ~iss:(Some iss) ~fastforward:(Some ff)
   end
   else begin
     let scale = if paper then Experiments.paper else Experiments.fast in
@@ -753,11 +880,12 @@ let () =
     let cache = if bechamel_only then None else Some (cache_roundtrip ()) in
     let smoke = parallel_smoke () in
     let adaptive = if bechamel_only then None else Some (adaptive_vs_fixed ()) in
+    let fastforward = if bechamel_only then None else Some (fastforward_compare ()) in
     (match perf with
     | Some p -> p.campaign_wall_s <- smoke.serial_wall_s
     | None -> ());
     write_bench_json ~path:"BENCH.json"
       ~scale_label:(if bechamel_only then "bechamel" else scale.Experiments.label)
       ~experiments:timings ~bechamel:bech_rows ~smoke:(Some smoke) ~perf ~cache ~adaptive
-      ~kernels ~iss
+      ~kernels ~iss ~fastforward
   end

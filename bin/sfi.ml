@@ -469,15 +469,25 @@ let cache_cmds =
     let run dir =
       let dir = resolve dir in
       let entries = Sfi_cache.scan ~dir in
+      (* namespace -> payload codec, matching each producer's
+         fingerprint label *)
+      let codec_of = function
+        | "refcycles" -> "sfi-refcycles/1"
+        | "snap" -> "sfi-snap/1"
+        | "chardb" -> "sfi-chardb/1"
+        | _ -> "?"
+      in
       let t =
         Sfi_util.Table.create ~title:(Printf.sprintf "cache %s" dir)
-          [ ("namespace", Sfi_util.Table.Left); ("key", Sfi_util.Table.Left);
-            ("bytes", Sfi_util.Table.Right); ("status", Sfi_util.Table.Left) ]
+          [ ("namespace", Sfi_util.Table.Left); ("codec", Sfi_util.Table.Left);
+            ("key", Sfi_util.Table.Left); ("bytes", Sfi_util.Table.Right);
+            ("status", Sfi_util.Table.Left) ]
       in
       List.iter
         (fun (e : Sfi_cache.entry_info) ->
           Sfi_util.Table.add_row t
             [ (if e.Sfi_cache.namespace = "" then "?" else e.Sfi_cache.namespace);
+              codec_of e.Sfi_cache.namespace;
               (if e.Sfi_cache.key = "" then e.Sfi_cache.file else e.Sfi_cache.key);
               string_of_int e.Sfi_cache.bytes;
               (if e.Sfi_cache.valid then "ok" else "INVALID: " ^ e.Sfi_cache.reason) ])

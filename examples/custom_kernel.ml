@@ -83,7 +83,7 @@ let () =
       let exits = ref 0 and exact = ref 0 and errs = ref [] in
       for _ = 1 to trials do
         let rng = Rng.split root in
-        let injector = Sfi_fi.Injector.create ~model ~freq_mhz ~rng in
+        let injector = Sfi_fi.Injector.create ~model ~freq_mhz ~rng () in
         let mem = Sfi_sim.Memory.create ~size:65536 in
         Sfi_sim.Memory.load_program mem program;
         let config =

@@ -281,7 +281,7 @@ let fig4 ctx =
   let mse_of (_, cls, profile, result_mask) f =
     let model = Flow.model_c ~profile ctx.flow ~vdd ~sigma () in
     let rng = Rng.of_int (0xF14 + int_of_float f) in
-    let injector = Injector.create ~model ~freq_mhz:f ~rng in
+    let injector = Injector.create ~model ~freq_mhz:f ~rng () in
     if Injector.cannot_inject injector then 0.
     else begin
       let hook = Injector.hook injector in
@@ -590,7 +590,7 @@ let extension_kernels ctx =
          past the transition onset. *)
       let probe_freq = fsta *. 1.18 in
       let rng = Rng.of_int 4242 in
-      let injector = Injector.create ~model ~freq_mhz:probe_freq ~rng in
+      let injector = Injector.create ~model ~freq_mhz:probe_freq ~rng () in
       let config =
         {
           Sfi_sim.Cpu.default_config with

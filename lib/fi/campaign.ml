@@ -132,7 +132,7 @@ let reference_cycles =
           cycles)
 
 let run_trial_with ~bench ~model ~freq_mhz ~rng =
-  let injector = Injector.create ~model ~freq_mhz ~rng in
+  let injector = Injector.create ~model ~freq_mhz ~rng () in
   let budget = (3 * reference_cycles bench) + 65536 in
   let config =
     {
@@ -374,7 +374,7 @@ let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
   Sfi_obs.Counter.incr obs_points;
   Sfi_obs.Span.time (obs_bench_span bench.Bench.name) @@ fun () ->
   let root = Rng.of_int (spec.Spec.seed lxor 0x0F1) in
-  let probe = Injector.create ~model ~freq_mhz ~rng:(Rng.copy root) in
+  let probe = Injector.create ~model ~freq_mhz ~rng:(Rng.copy root) () in
   let trials_requested = Spec.max_trials spec in
   if Injector.cannot_inject probe then begin
     (* Deterministic fault-free region: one run represents all trials. *)
@@ -383,7 +383,36 @@ let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
     aggregate ~freq_mhz ~any_fault_possible:false ~trials_requested [ t ]
   end
   else begin
-    ignore (reference_cycles bench);
+    let ref_cycles = reference_cycles bench in
+    (* Fast-forward: one engine-neutral snapshot trace per benchmark,
+       shared by every trial of every point. A reference run that does
+       not exit cleanly yields no trace and the point silently falls
+       back to full replay — same results either way by contract. *)
+    let ff_trace =
+      if Spec.resolve_fastforward spec.Spec.fastforward then
+        Fastforward.trace_for ~bench ~stride:(Fastforward.stride_for ~ref_cycles)
+      else None
+    in
+    let run_one rng =
+      match ff_trace with
+      | None -> run_trial_with ~bench ~model ~freq_mhz ~rng
+      | Some trace ->
+        (* Mirror [run_trial_with]'s det:true accounting exactly: one
+           [reference_cycles] call (budget), one trials bump, one
+           cycle-histogram observation per trial. *)
+        let budget = (3 * reference_cycles bench) + 65536 in
+        let r = Fastforward.run_trial ~bench ~model ~freq_mhz ~budget ~trace ~rng in
+        Sfi_obs.Counter.incr obs_trials;
+        Sfi_obs.Hist.observe obs_trial_cycles r.Fastforward.kernel_cycles;
+        {
+          finished = r.Fastforward.finished;
+          correct = r.Fastforward.correct;
+          fault_bits = r.Fastforward.fault_bits;
+          fault_events = r.Fastforward.fault_events;
+          kernel_cycles = r.Fastforward.kernel_cycles;
+          error = r.Fastforward.error;
+        }
+    in
     let max_trials = trials_requested in
     let batch = Spec.batch_size spec in
     let rngs = Array.make max_trials root in
@@ -412,11 +441,7 @@ let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
           Sfi_obs.Counter.add obs_resumed len;
           ts
         | None ->
-          let ts =
-            Pool.map pool
-              (fun rng -> run_trial_with ~bench ~model ~freq_mhz ~rng)
-              (Array.sub rngs !n_done len)
-          in
+          let ts = Pool.map pool run_one (Array.sub rngs !n_done len) in
           (match ckpt with
           | Some (path, _, _) ->
             Checkpoint.append ~path ~key ~batch:!batch_idx (json_of_batch ts)
@@ -467,18 +492,6 @@ let run_sweep spec ~bench ~model ~freqs_mhz =
       Pool.map_list pool
         (fun freq_mhz -> run_point_in pool spec ~ckpt ~bench ~model ~freq_mhz)
         freqs_mhz)
-
-(* ---------- deprecated optional-argument wrappers ---------- *)
-
-let spec_of_legacy ?(trials = 100) ?(seed = 1) ?jobs () =
-  let spec = Spec.default |> Spec.with_trials trials |> Spec.with_seed seed in
-  match jobs with None -> spec | Some j -> Spec.with_jobs j spec
-
-let run_point ?trials ?seed ?jobs ~bench ~model ~freq_mhz () =
-  run (spec_of_legacy ?trials ?seed ?jobs ()) ~bench ~model ~freq_mhz
-
-let sweep ?trials ?seed ?jobs ~bench ~model ~freqs_mhz () =
-  run_sweep (spec_of_legacy ?trials ?seed ?jobs ()) ~bench ~model ~freqs_mhz
 
 let point_of_first_failure points =
   points

@@ -87,31 +87,6 @@ val run_sweep :
     trial batches fan out on; all points share the spec (and its
     checkpoint file — records are keyed per frequency). *)
 
-val run_point :
-  ?trials:int ->
-  ?seed:int ->
-  ?jobs:int ->
-  bench:Bench.t ->
-  model:Model.t ->
-  freq_mhz:float ->
-  unit ->
-  point
-[@@deprecated "use Campaign.run with a Campaign.Spec.t"]
-(** Equivalent to [run] of a spec built with [Spec.with_trials]/
-    [with_seed]/[with_jobs]; default 100 trials (the paper's minimum per
-    data point). *)
-
-val sweep :
-  ?trials:int ->
-  ?seed:int ->
-  ?jobs:int ->
-  bench:Bench.t ->
-  model:Model.t ->
-  freqs_mhz:float list ->
-  unit ->
-  point list
-[@@deprecated "use Campaign.run_sweep with a Campaign.Spec.t"]
-
 val point_of_first_failure : point list -> float option
 (** Lowest swept frequency at which the correct-rate drops below 100%
     (the PoFF of the paper: where the application first does not finish

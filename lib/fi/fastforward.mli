@@ -1,0 +1,73 @@
+(** Snapshot fast-forward for campaign trials (DESIGN.md §13).
+
+    A trial is bit-identical to the fault-free reference run until its
+    first injected fault: the fault-model hooks depend only on the
+    instruction class and the trial's private RNG stream. Recording the
+    reference run's hook-call schedule plus sparse architectural
+    snapshots therefore lets a campaign
+
+    - resolve provably fault-free trials analytically (no simulation),
+    - and start every faulty trial from the snapshot nearest before its
+      first fault, simulating only the suffix —
+
+    while consuming exactly the RNG draws a full run would, so results,
+    det signatures and checkpoint records are bit-identical to full
+    replay. Traces persist in {!Sfi_cache} (namespace ["snap"], codec
+    ["sfi-snap/1"]) keyed by benchmark content + stride, independent of
+    the CPU engine. *)
+
+open Sfi_util
+open Sfi_kernels
+
+type trace
+
+val page_size : int
+(** Granularity of the per-snapshot memory deltas, in bytes. *)
+
+val stride_for : ref_cycles:int -> int
+(** Snapshot stride for a program of [ref_cycles] fault-free cycles:
+    [max 64 (ref_cycles / 128)], overridable via [SFI_SNAP_STRIDE].
+    Finer strides shrink the replayed snapshot-to-fault window; coarser
+    ones shrink the trace. *)
+
+val trace_for : bench:Bench.t -> stride:int -> trace option
+(** The benchmark's snapshot trace, recorded on first use (one
+    interpreter pass over the reference run) and memoized both
+    in-process and in {!Sfi_cache}. [None] when the reference run does
+    not exit cleanly — callers fall back to full replay. *)
+
+type result = {
+  finished : bool;
+  correct : bool;
+  fault_bits : int;
+  fault_events : int;
+  kernel_cycles : int;
+  error : float;
+}
+(** Field-for-field what [Campaign]'s full-replay trial produces. *)
+
+val first_fault :
+  model:Model.t ->
+  freq_mhz:float ->
+  trace:trace ->
+  rng:Rng.t ->
+  (int * Op_class.t) option
+(** The analytic first-fault sampler on its own, for statistical
+    validation: the cycle and instruction class of the trial's first
+    injected fault, or [None] for a provably fault-free trial. Walks a
+    copy of [rng]; the caller's stream is untouched. By the
+    draw-accounting contract this equals the first fault a full-replay
+    run of the same stream would inject. *)
+
+val run_trial :
+  bench:Bench.t ->
+  model:Model.t ->
+  freq_mhz:float ->
+  budget:int ->
+  trace:trace ->
+  rng:Rng.t ->
+  result
+(** One fast-forwarded trial on the trial's pre-split [rng] stream.
+    [budget] is the same absolute cycle watchdog a full-replay trial
+    would use; resumed suffixes inherit the snapshot's cycle counter, so
+    the watchdog trips at the identical absolute cycle. *)

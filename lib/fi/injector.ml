@@ -7,12 +7,22 @@ type t = {
   mutable events : int;
   by_class : int array;
   cannot : bool;
+  skippable : Op_class.t -> int option;
+  obs_on : bool; (* report to the obs registry (off for probe replays) *)
   fault_counter : Sfi_obs.Counter.t; (* faults committed, per model name *)
 }
 
-(* Observability. All injector counters are pure functions of the hook
-   call sequence and the per-trial RNG streams, both of which are fixed
-   by the determinism contract, so they are registered deterministic.
+(* Observability. The injector's *outcome* — faults committed and their
+   bit widths — is a pure function of the requested work and stays
+   deterministic ([injector.faults.<model>], [fault_bits_per_event]).
+   The *work* counters below measure how the outcome was computed: how
+   many hook calls actually ran the per-call math and which fast path
+   short-circuited them. Fast-forward elides fault-free work entirely
+   (the hook never runs for skipped prefixes/trials), so these are
+   registered [~det:false] like the other elided-work families
+   (the cache, cpu and bitsim counters) — identical campaign results
+   keep identical det signatures whether the work was performed or
+   skipped.
    [attempts.<class>] counts hook invocations per operation class;
    [skip_table_hits] the quantized noise-table fast path returning a
    provably-empty mask; [class_cannot_hits] the per-class worst-case
@@ -21,14 +31,14 @@ type t = {
 let obs_attempts =
   Array.of_list
     (List.map
-       (fun c -> Sfi_obs.Counter.make ("injector.attempts." ^ Op_class.name c))
+       (fun c -> Sfi_obs.Counter.make ~det:false ("injector.attempts." ^ Op_class.name c))
        Op_class.all)
 
-let obs_skip_table = Sfi_obs.Counter.make "injector.skip_table_hits"
+let obs_skip_table = Sfi_obs.Counter.make ~det:false "injector.skip_table_hits"
 
-let obs_class_cannot = Sfi_obs.Counter.make "injector.class_cannot_hits"
+let obs_class_cannot = Sfi_obs.Counter.make ~det:false "injector.class_cannot_hits"
 
-let obs_sta_prune = Sfi_obs.Counter.make "injector.sta_mask_prunes"
+let obs_sta_prune = Sfi_obs.Counter.make ~det:false "injector.sta_mask_prunes"
 
 let obs_fault_bits = Sfi_obs.Hist.make "injector.fault_bits_per_event"
 
@@ -46,7 +56,7 @@ let record t cls mask =
     t.events <- t.events + 1;
     let i = Op_class.index cls in
     t.by_class.(i) <- t.by_class.(i) + n;
-    if Sfi_obs.enabled () then begin
+    if t.obs_on && Sfi_obs.enabled () then begin
       Sfi_obs.Counter.add t.fault_counter n;
       Sfi_obs.Hist.observe obs_fault_bits n
     end
@@ -97,7 +107,8 @@ let table_threshold tbl nv =
   let i = if i < 0 then 0 else if i > noise_buckets then noise_buckets else i in
   tbl.thr.(i) -. slack_ps
 
-let create ~model ~freq_mhz ~rng =
+let create ?(count_obs = true) ~model ~freq_mhz ~rng () =
+  let obs = count_obs in
   let period = Sta.period_ps_of_mhz freq_mhz in
   let fault_counter = fault_counter_for model in
   match model with
@@ -107,7 +118,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            obs_attempt cls;
+            if obs then obs_attempt cls;
             if cannot then 0
             else begin
               let mask = ref 0 in
@@ -120,6 +131,8 @@ let create ~model ~freq_mhz ~rng =
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        skippable = (if cannot then fun _ -> Some 0 else fun _ -> None);
+        obs_on = obs;
         fault_counter;
       }
     in
@@ -178,7 +191,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            obs_attempt cls;
+            if obs then obs_attempt cls;
             if cannot then 0
             else if not has_noise then record t cls static_mask
             else begin
@@ -187,18 +200,22 @@ let create ~model ~freq_mhz ~rng =
               | Some tbl when max_arrival <= table_threshold tbl nv ->
                 (* Even the bucket's most pessimistic threshold clears the
                    slowest endpoint: the mask is provably 0. *)
-                Sfi_obs.Counter.incr obs_skip_table;
+                if obs then Sfi_obs.Counter.incr obs_skip_table;
                 0
               | _ ->
                 let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
                 let mask = mask_at (period /. scale) in
-                if mask = 0 then Sfi_obs.Counter.incr obs_sta_prune;
+                if obs && mask = 0 then Sfi_obs.Counter.incr obs_sta_prune;
                 record t cls mask
             end);
         bits = 0;
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        skippable =
+          (if cannot || ((not has_noise) && static_mask = 0) then fun _ -> Some 0
+           else fun _ -> None);
+        obs_on = obs;
         fault_counter;
       }
     in
@@ -245,7 +262,7 @@ let create ~model ~freq_mhz ~rng =
       {
         hook =
           (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            obs_attempt cls;
+            if obs then obs_attempt cls;
             if cannot then 0
             else begin
               let ci = Op_class.index cls in
@@ -254,7 +271,7 @@ let create ~model ~freq_mhz ~rng =
                    sigma draw is consumed here, so skipping the rest of the
                    hook leaves the RNG stream identical. *)
                 if has_noise then ignore (Noise.draw noise rng : float);
-                Sfi_obs.Counter.incr obs_class_cannot;
+                if obs then Sfi_obs.Counter.incr obs_class_cannot;
                 0
               end
               else begin
@@ -266,7 +283,7 @@ let create ~model ~freq_mhz ~rng =
                   | None -> false
                 in
                 if skip then begin
-                  Sfi_obs.Counter.incr obs_skip_table;
+                  if obs then Sfi_obs.Counter.incr obs_skip_table;
                   0
                 end
                 else begin
@@ -307,12 +324,22 @@ let create ~model ~freq_mhz ~rng =
         events = 0;
         by_class = Array.make Op_class.count 0;
         cannot;
+        skippable =
+          (if cannot then fun _ -> Some 0
+           else
+             fun cls ->
+               if Array.unsafe_get class_cannot (Op_class.index cls) then
+                 Some (if has_noise then 1 else 0)
+               else None);
+        obs_on = obs;
         fault_counter;
       }
     in
     t
 
 let hook t = t.hook
+
+let skippable_gaussians t cls = t.skippable cls
 
 let fault_bits t = t.bits
 

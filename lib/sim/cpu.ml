@@ -1224,7 +1224,68 @@ let run_compiled st config =
     else exec_block st code (Array.unsafe_get st.threads bid)
   done
 
-let run ?(config = default_config) ?engine mem ~entry =
+(* ---------- snapshot / restore ---------- *)
+
+(* Everything [run] needs to continue mid-program except memory (the
+   caller restores memory separately — it dwarfs the rest and diffs
+   well) and the decode/block caches, which are derived state rebuilt
+   lazily from memory on the first fetch of each word. Arrays are
+   copied on capture AND on restore: [finish] returns [st.class_counts]
+   aliased, and callers keep snapshots across many runs. *)
+type snapshot = {
+  snap_pc : int;
+  snap_flag : bool;
+  snap_cycle : int;
+  snap_instret : int;
+  snap_fi_on : bool;
+  snap_kernel_cycles : int;
+  snap_kernel_instret : int;
+  snap_alu_retired : int;
+  snap_class_counts : int array;
+  snap_control_retired : int;
+  snap_memory_retired : int;
+  snap_taken_branches : int;
+  snap_regs : int array;
+  snap_ready : int array;
+}
+
+let capture st =
+  {
+    snap_pc = st.pc;
+    snap_flag = st.flag;
+    snap_cycle = st.cycle;
+    snap_instret = st.instret;
+    snap_fi_on = st.fi_on;
+    snap_kernel_cycles = st.kernel_cycles;
+    snap_kernel_instret = st.kernel_instret;
+    snap_alu_retired = st.alu_retired;
+    snap_class_counts = Array.copy st.class_counts;
+    snap_control_retired = st.control_retired;
+    snap_memory_retired = st.memory_retired;
+    snap_taken_branches = st.taken_branches;
+    snap_regs = Array.copy st.regs;
+    snap_ready = Array.copy st.ready;
+  }
+
+let restore st (s : snapshot) =
+  st.pc <- s.snap_pc;
+  st.flag <- s.snap_flag;
+  st.cycle <- s.snap_cycle;
+  st.instret <- s.snap_instret;
+  st.fi_on <- s.snap_fi_on;
+  st.kernel_cycles <- s.snap_kernel_cycles;
+  st.kernel_instret <- s.snap_kernel_instret;
+  st.alu_retired <- s.snap_alu_retired;
+  Array.blit s.snap_class_counts 0 st.class_counts 0 (Array.length st.class_counts);
+  st.control_retired <- s.snap_control_retired;
+  st.memory_retired <- s.snap_memory_retired;
+  st.taken_branches <- s.snap_taken_branches;
+  Array.blit s.snap_regs 0 st.regs 0 32;
+  Array.blit s.snap_ready 0 st.ready 0 32
+
+let snapshot_cycle (s : snapshot) = s.snap_cycle
+
+let run ?(config = default_config) ?engine ?resume mem ~entry =
   let engine = match engine with Some e -> e | None -> !default_engine in
   let compiled = match engine with Interp -> false | Auto | Compiled -> true in
   let size = Memory.size mem in
@@ -1273,8 +1334,76 @@ let run ?(config = default_config) ?engine mem ~entry =
       n_fallbacks = 0;
     }
   in
+  (match resume with None -> () | Some s -> restore st s);
   try
     if compiled then run_compiled st config else run_interp st config;
+    assert false
+  with
+  | Exit_sim outcome -> finish st outcome
+  | Memory.Trap msg -> finish st (Trapped msg)
+
+(* Interpreter-only run that hands a snapshot of the pre-instruction
+   state to [on_snapshot] at every [stride]-cycle boundary (cycle 0
+   included, so there is always a snapshot at or before any target
+   cycle). A boundary falling inside a multi-cycle instruction (stalls,
+   branch penalty) is captured at the next instruction fetch — the
+   first point where the architectural state is well-defined — so a
+   snapshot's cycle can exceed its nominal boundary; consumers must
+   select by [snapshot_cycle], not by index arithmetic. *)
+let run_recording ?(config = default_config) ~stride ~on_snapshot mem ~entry =
+  if stride <= 0 then invalid_arg "Cpu.run_recording: stride must be positive";
+  let size = Memory.size mem in
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Cpu.run_recording: memory size must be a positive power of two";
+  let n_words = size / 4 in
+  let st =
+    {
+      mem;
+      addr_mask = size - 1;
+      regs = Array.make 32 0;
+      pc = entry;
+      flag = false;
+      cycle = 0;
+      instret = 0;
+      fi_on = config.fi_always_on;
+      kernel_cycles = 0;
+      kernel_instret = 0;
+      alu_retired = 0;
+      class_counts = Array.make Op_class.count 0;
+      control_retired = 0;
+      memory_retired = 0;
+      taken_branches = 0;
+      ready = Array.make 32 0;
+      utab = Array.make (n_words * 4) Uop.u_unfilled;
+      compiled = false;
+      covered = [||];
+      block_of = [||];
+      blocks = [||];
+      threads = [||];
+      n_blocks = 0;
+      aborted = false;
+      blk_i = 0;
+      blk_before = 0;
+      blk_fi0 = false;
+      blk_c0 = 0;
+      blk_code = [||];
+      n_blocks_compiled = 0;
+      n_block_hits = 0;
+      n_block_flushes = 0;
+      n_invalidations = 0;
+      n_compiled_insns = 0;
+      n_fallbacks = 0;
+    }
+  in
+  let next = ref 0 in
+  try
+    while true do
+      if st.cycle >= !next then begin
+        on_snapshot (capture st);
+        next := ((st.cycle / stride) + 1) * stride
+      end;
+      step st config
+    done;
     assert false
   with
   | Exit_sim outcome -> finish st outcome

@@ -93,12 +93,46 @@ val set_default_engine : engine -> unit
 
 val engine_name : engine -> string
 
-val run : ?config:config -> ?engine:engine -> Memory.t -> entry:int -> stats
+type snapshot
+(** Full architectural state of the core at an instruction boundary —
+    pc, flag, registers, interlock table, cycle/retire counters and the
+    FI-window flag — excluding memory (restored separately by the
+    caller) and the decode/block caches, which are derived state
+    rebuilt lazily from memory. Snapshots are plain data (marshalable)
+    and safe to keep across runs: both capture and restore copy the
+    embedded arrays. *)
+
+val snapshot_cycle : snapshot -> int
+(** The cycle count at which the snapshot was taken. *)
+
+val run :
+  ?config:config -> ?engine:engine -> ?resume:snapshot -> Memory.t -> entry:int -> stats
 (** Executes until exit, watchdog, or trap. The memory is mutated in
     place (reload or {!Memory.copy} a pristine image between trials).
     [engine] (default: the {!set_default_engine} value) picks the
     execution engine; both produce bit-identical stats and fault-hook
-    streams, so this is purely a performance knob. *)
+    streams, so this is purely a performance knob.
+
+    [resume] starts from a {!snapshot} instead of the reset state
+    ([entry] is then ignored): given the same memory contents the
+    snapshot was taken against, the suffix executes cycle-for-cycle
+    identically to the run that produced it — including the absolute
+    [max_cycles] watchdog, since the snapshot carries its cycle
+    count — under either engine. *)
+
+val run_recording :
+  ?config:config ->
+  stride:int ->
+  on_snapshot:(snapshot -> unit) ->
+  Memory.t ->
+  entry:int ->
+  stats
+(** Like [run] with the interpreter engine, additionally calling
+    [on_snapshot] with the pre-instruction state at the first
+    instruction boundary at or after every [stride]-cycle mark
+    (cycle 0 included). The callback must copy any memory pages it
+    wants to pair with the snapshot before returning — the simulation
+    keeps mutating the same {!Memory.t}. *)
 
 val ipc : stats -> float
 (** Retired instructions per cycle. *)

@@ -64,6 +64,14 @@ let write_u8 t addr v =
 let load_program t (p : Sfi_isa.Program.t) =
   Array.iter (fun (addr, w) -> write_u32 t addr w) p.Sfi_isa.Program.words
 
+let sub_string t ~pos ~len = Bytes.sub_string t pos len
+
+let blit_from_string t ~pos s = Bytes.blit_string s 0 t pos (String.length s)
+
+let equal_range a b ~pos ~len =
+  let rec go i = i >= len || (Bytes.unsafe_get a (pos + i) = Bytes.unsafe_get b (pos + i) && go (i + 1)) in
+  go 0
+
 let read_u32_array t ~addr ~count = Array.init count (fun i -> read_u32 t (addr + (4 * i)))
 
 let write_u32_array t ~addr values =

@@ -33,6 +33,16 @@ val write_u32 : t -> int -> U32.t -> unit
 val write_u16 : t -> int -> int -> unit
 val write_u8 : t -> int -> int -> unit
 
+val sub_string : t -> pos:int -> len:int -> string
+(** Raw byte extraction (page granularity, for sparse snapshots). *)
+
+val blit_from_string : t -> pos:int -> string -> unit
+(** Overwrites [String.length s] bytes at [pos] (page restore). *)
+
+val equal_range : t -> t -> pos:int -> len:int -> bool
+(** Byte equality of one range of two same-sized memories (dirty-page
+    detection against a shadow copy). *)
+
 val read_u32_array : t -> addr:int -> count:int -> U32.t array
 (** Bulk read of consecutive words (for collecting benchmark outputs). *)
 

@@ -56,6 +56,31 @@ let gaussian t =
     t.spare <- Some (r *. sin theta);
     r *. cos theta
 
+let skip_gaussians t k =
+  (* Advance the stream exactly as [k] calls to [gaussian] would, without
+     paying for the transcendentals. A pending spare absorbs one call for
+     free; each further pair of calls consumes one Box-Muller uniform pair
+     (including the [u > 0] retry, which depends only on the raw stream);
+     an odd leftover call must run the real Box-Muller so the spare it
+     plants holds the same *value* a genuine call would produce. *)
+  let k = ref k in
+  if !k > 0 then (
+    match t.spare with
+    | Some _ ->
+      t.spare <- None;
+      decr k
+    | None -> ());
+  while !k >= 2 do
+    let rec u1 () =
+      let u = float t in
+      if u > 0. then u else u1 ()
+    in
+    ignore (u1 () : float);
+    ignore (float t : float);
+    k := !k - 2
+  done;
+  if !k = 1 then ignore (gaussian t : float)
+
 let gaussian_clipped t ~sigma ~clip =
   if sigma = 0. then 0.
   else

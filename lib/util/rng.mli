@@ -45,6 +45,13 @@ val bernoulli : t -> float -> bool
 val gaussian : t -> float
 (** Standard normal deviate (Box-Muller; one fresh pair per two calls). *)
 
+val skip_gaussians : t -> int -> unit
+(** [skip_gaussians t k] advances the stream exactly as [k] calls to
+    [gaussian] would — same raw draws consumed, same spare left pending
+    with the same value — but skips the transcendental math for whole
+    Box-Muller pairs. Used by the fast-forward probe to jump the stream
+    over hook calls whose draws provably cannot matter. *)
+
 val gaussian_clipped : t -> sigma:float -> clip:float -> float
 (** [gaussian_clipped t ~sigma ~clip] draws [N(0, sigma^2)] saturated to
     [\[-clip*sigma, +clip*sigma\]], the paper's supply-noise model with

@@ -1,8 +1,8 @@
 (* Tests for the adaptive-precision campaign engine and its
    checkpoint/resume machinery:
 
-   - [Fixed n] specs and the deprecated optional-argument wrappers are
-     pinned equivalent (points and deterministic obs signatures);
+   - [Fixed n] specs are pinned deterministic (points and obs
+     signatures stable across repeated runs and job counts);
    - adaptive stopping is bit-identical for jobs=1 vs jobs=4;
    - a campaign killed after N batches and rerun from its checkpoint is
      bit-identical to the uninterrupted run, with the resumed trial
@@ -13,16 +13,6 @@
 open Sfi_kernels
 open Sfi_fi
 module Spec = Campaign.Spec
-
-(* The deprecated wrappers, used intentionally to pin their equivalence
-   with the Spec-based API. *)
-module Legacy = struct
-  [@@@alert "-deprecated"]
-
-  let run_point = Campaign.run_point
-
-  let sweep = Campaign.sweep
-end
 
 let () = Sfi_obs.set_enabled true
 
@@ -59,33 +49,33 @@ let point_equal (p : Campaign.point) (q : Campaign.point) =
 let points_equal ps qs =
   List.length ps = List.length qs && List.for_all2 point_equal ps qs
 
-(* ---------- Fixed specs vs the deprecated wrappers ---------- *)
+(* ---------- Fixed specs are deterministic ---------- *)
 
-let test_fixed_pins_deprecated () =
+let test_fixed_pins_deterministic () =
   let bench = Lazy.force bench in
   let model = model_a 0.01 in
   ignore (Campaign.reference_cycles bench : int);
   let spec = Spec.(default |> with_trials 12 |> with_seed 9 |> with_jobs 2) in
-  let via_spec, sig_spec =
+  let first, sig_first =
     with_obs (fun () -> Campaign.run spec ~bench ~model ~freq_mhz:707.)
   in
-  let via_legacy, sig_legacy =
-    with_obs (fun () ->
-        Legacy.run_point ~trials:12 ~seed:9 ~jobs:2 ~bench ~model ~freq_mhz:707. ())
+  let again, sig_again =
+    with_obs (fun () -> Campaign.run spec ~bench ~model ~freq_mhz:707.)
   in
-  Alcotest.(check bool) "points equal" true (point_equal via_spec via_legacy);
-  Alcotest.(check bool) "det signatures equal" true (sig_spec = sig_legacy);
+  Alcotest.(check bool) "points equal" true (point_equal first again);
+  Alcotest.(check bool) "det signatures equal" true (sig_first = sig_again);
   let freqs = [ 650.; 707.; 800. ] in
   let spec = Spec.(default |> with_trials 6 |> with_seed 4) in
-  let sweep_spec, sig_s =
+  let sweep_a, sig_a =
     with_obs (fun () -> Campaign.run_sweep spec ~bench ~model ~freqs_mhz:freqs)
   in
-  let sweep_legacy, sig_l =
+  let sweep_b, sig_b =
     with_obs (fun () ->
-        Legacy.sweep ~trials:6 ~seed:4 ~bench ~model ~freqs_mhz:freqs ())
+        Campaign.run_sweep (Spec.with_jobs 4 spec) ~bench ~model ~freqs_mhz:freqs)
   in
-  Alcotest.(check bool) "sweeps equal" true (points_equal sweep_spec sweep_legacy);
-  Alcotest.(check bool) "sweep det signatures equal" true (sig_s = sig_l)
+  Alcotest.(check bool) "sweeps equal across job counts" true
+    (points_equal sweep_a sweep_b);
+  Alcotest.(check bool) "sweep det signatures equal" true (sig_a = sig_b)
 
 let test_fixed_fills_ceiling () =
   let p =
@@ -288,7 +278,7 @@ let () =
     [
       ( "spec",
         [
-          Alcotest.test_case "fixed pins deprecated API" `Quick test_fixed_pins_deprecated;
+          Alcotest.test_case "fixed specs deterministic" `Quick test_fixed_pins_deterministic;
           Alcotest.test_case "fixed fills ceiling" `Quick test_fixed_fills_ceiling;
         ] );
       ( "adaptive",

@@ -56,7 +56,7 @@ let test_flow_operating_vdd_rescales () =
     (* Bisect the injector's fast-path boundary. *)
     let can freq =
       let rng = Rng.of_int 1 in
-      not (Sfi_fi.Injector.cannot_inject (Sfi_fi.Injector.create ~model ~freq_mhz:freq ~rng))
+      not (Sfi_fi.Injector.cannot_inject (Sfi_fi.Injector.create ~model ~freq_mhz:freq ~rng ()))
     in
     let lo = ref 300. and hi = ref 2000. in
     for _ = 1 to 40 do

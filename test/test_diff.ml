@@ -82,8 +82,8 @@ let test_c_masks_subset_of_b_static () =
   List.iter
     (fun rel ->
       let freq = onset_b_mhz () *. rel in
-      let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 9) in
-      let inj_c = Injector.create ~model:(model_c ()) ~freq_mhz:freq ~rng:(Rng.of_int 9) in
+      let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 9) () in
+      let inj_c = Injector.create ~model:(model_c ()) ~freq_mhz:freq ~rng:(Rng.of_int 9) () in
       let hb = Injector.hook inj_b and hc = Injector.hook inj_c in
       let rng = Rng.of_int 31 in
       for cycle = 1 to 400 do
@@ -108,8 +108,8 @@ let test_c_masks_subset_of_b_static () =
 let test_c_onset_not_below_b () =
   (* Below B's static onset, C must also be unable to inject. *)
   let freq = onset_b_mhz () *. 0.98 in
-  let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 4) in
-  let inj_c = Injector.create ~model:(model_c ()) ~freq_mhz:freq ~rng:(Rng.of_int 4) in
+  let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 4) () in
+  let inj_c = Injector.create ~model:(model_c ()) ~freq_mhz:freq ~rng:(Rng.of_int 4) () in
   Alcotest.(check bool) "B cannot inject below onset" true (Injector.cannot_inject inj_b);
   Alcotest.(check bool) "C cannot inject below B's onset" true
     (Injector.cannot_inject inj_c)
@@ -118,9 +118,9 @@ let test_c_onset_not_below_b () =
 
 let test_bplus_faults_below_static_onset () =
   let freq = onset_b_mhz () *. 0.99 in
-  let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 5) in
+  let inj_b = Injector.create ~model:(model_b ()) ~freq_mhz:freq ~rng:(Rng.of_int 5) () in
   let inj_bplus =
-    Injector.create ~model:(model_b ~sigma:0.025 ()) ~freq_mhz:freq ~rng:(Rng.of_int 5)
+    Injector.create ~model:(model_b ~sigma:0.025 ()) ~freq_mhz:freq ~rng:(Rng.of_int 5) ()
   in
   Alcotest.(check bool) "B silent just below onset" true (Injector.cannot_inject inj_b);
   Alcotest.(check bool) "B+ worst-case noise can violate" false
@@ -202,7 +202,7 @@ let test_fault_bits_monotone_in_frequency () =
     let inj =
       Injector.create
         ~model:(model_c ~sampling:Model.Vector_correlated ())
-        ~freq_mhz:(f_class *. rel) ~rng:(Rng.of_int 123)
+        ~freq_mhz:(f_class *. rel) ~rng:(Rng.of_int 123) ()
     in
     let hook = Injector.hook inj in
     for cycle = 1 to 500 do
@@ -231,7 +231,7 @@ let test_model_a_frequency_invariant () =
     let inj =
       Injector.create
         ~model:(Model.Fixed_probability { bit_flip_prob = 0.01 })
-        ~freq_mhz:freq ~rng:(Rng.of_int 55)
+        ~freq_mhz:freq ~rng:(Rng.of_int 55) ()
     in
     let hook = Injector.hook inj in
     List.init 300 (fun cycle -> hook ~cycle ~cls:Op_class.Add ~a:1 ~b:2 ~result:3)
@@ -258,7 +258,7 @@ let test_obs_counters_match_injector_accounting () =
         | _ -> 0
       in
       let run model =
-        let inj = Injector.create ~model ~freq_mhz:freq ~rng:(Rng.of_int 77) in
+        let inj = Injector.create ~model ~freq_mhz:freq ~rng:(Rng.of_int 77) () in
         let hook = Injector.hook inj in
         let rng = Rng.of_int 88 in
         for cycle = 1 to 300 do

@@ -77,7 +77,7 @@ let test_injector_a_zero_prob_never_fires () =
   let rng = Rng.of_int 1 in
   let injector =
     Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 0. }) ~freq_mhz:707.
-      ~rng
+      ~rng ()
   in
   Alcotest.(check bool) "cannot inject" true (Injector.cannot_inject injector);
   for _ = 1 to 100 do
@@ -88,7 +88,7 @@ let test_injector_a_prob_one_flips_everything () =
   let rng = Rng.of_int 2 in
   let injector =
     Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 1. }) ~freq_mhz:707.
-      ~rng
+      ~rng ()
   in
   Alcotest.(check int) "all 32 bits" 0xFFFF_FFFF (hook_call injector);
   Alcotest.(check int) "bits counted" 32 (Injector.fault_bits injector);
@@ -96,12 +96,12 @@ let test_injector_a_prob_one_flips_everything () =
 
 let test_injector_b_below_sta_silent () =
   let rng = Rng.of_int 3 in
-  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:700. ~rng in
+  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:700. ~rng () in
   Alcotest.(check bool) "no faults possible at 700 MHz" true (Injector.cannot_inject injector)
 
 let test_injector_b_above_sta_deterministic () =
   let rng = Rng.of_int 4 in
-  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:720. ~rng in
+  let injector = Injector.create ~model:(model_b ()) ~freq_mhz:720. ~rng () in
   Alcotest.(check bool) "faults possible" false (Injector.cannot_inject injector);
   let m1 = hook_call injector in
   let m2 = hook_call injector in
@@ -111,7 +111,7 @@ let test_injector_b_above_sta_deterministic () =
 let test_injector_bplus_noise_randomizes () =
   let rng = Rng.of_int 5 in
   (* Just below the static limit: only noisy cycles fault. *)
-  let injector = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:690. ~rng in
+  let injector = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:690. ~rng () in
   Alcotest.(check bool) "faults possible under noise" false (Injector.cannot_inject injector);
   let faulted = ref 0 and silent = ref 0 in
   for _ = 1 to 2000 do
@@ -130,8 +130,8 @@ let test_injector_bplus_onset_matches_scale () =
   in
   let onset = fsta /. Vdd_model.scale_factor vm ~vdd:0.7 ~noise:(-0.020) in
   let rng = Rng.of_int 6 in
-  let below = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset -. 2.) ~rng in
-  let above = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset +. 2.) ~rng in
+  let below = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset -. 2.) ~rng () in
+  let above = Injector.create ~model:(model_bplus 0.010) ~freq_mhz:(onset +. 2.) ~rng () in
   Alcotest.(check bool) "below onset silent" true (Injector.cannot_inject below);
   Alcotest.(check bool) "above onset live" false (Injector.cannot_inject above)
 
@@ -144,7 +144,7 @@ let test_injector_c_class_dependence () =
   Alcotest.(check bool) "mul fails before add" true (f_mul < f_add);
   let f = (f_mul +. f_add) /. 2. in
   let rng = Rng.of_int 7 in
-  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:f ~rng in
+  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:f ~rng () in
   let hook = Injector.hook injector in
   let mul_faults = ref 0 in
   for _ = 1 to 3000 do
@@ -159,7 +159,7 @@ let test_injector_c_class_dependence () =
 let test_injector_c_rate_grows_with_frequency () =
   let rate f =
     let rng = Rng.of_int 8 in
-    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:f ~rng in
+    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:f ~rng () in
     let hook = Injector.hook injector in
     for _ = 1 to 3000 do
       ignore (hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
@@ -178,7 +178,7 @@ let test_injector_c_correlated_masks_from_characterization () =
   let f = 1000. in
   let rng = Rng.of_int 9 in
   let injector =
-    Injector.create ~model:(model_c ~sampling:Model.Vector_correlated 0.) ~freq_mhz:f ~rng
+    Injector.create ~model:(model_c ~sampling:Model.Vector_correlated 0.) ~freq_mhz:f ~rng ()
   in
   let hook = Injector.hook injector in
   let period = Sta.period_ps_of_mhz f in
@@ -196,7 +196,7 @@ let test_injector_c_correlated_masks_from_characterization () =
 
 let test_injector_class_accounting () =
   let rng = Rng.of_int 12 in
-  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:1000. ~rng in
+  let injector = Injector.create ~model:(model_c 0.) ~freq_mhz:1000. ~rng () in
   let hook = Injector.hook injector in
   for _ = 1 to 2000 do
     ignore (hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
@@ -211,7 +211,7 @@ let test_injector_class_accounting () =
 let test_injector_deterministic_in_rng () =
   let masks seed =
     let rng = Rng.of_int seed in
-    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:900. ~rng in
+    let injector = Injector.create ~model:(model_c 0.010) ~freq_mhz:900. ~rng () in
     let hook = Injector.hook injector in
     List.init 200 (fun _ -> hook ~cycle:0 ~cls:Op_class.Mul ~a:0 ~b:0 ~result:0)
   in

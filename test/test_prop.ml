@@ -236,6 +236,201 @@ let prop_u32_closure =
           U32.of_int m; U32.of_signed (U32.to_signed a); U32.sext ~bits:32 m;
         ])
 
+(* ---------- fast-forward: snapshot restore and first-fault sampling ---------- *)
+
+module Insn = Sfi_isa.Insn
+module Cpu = Sfi_sim.Cpu
+module Memory = Sfi_sim.Memory
+module Bench = Sfi_kernels.Bench
+
+(* Random short programs in the style of the cpu_engine parity sweep:
+   ALU, memory, compares, short forward branches, an exit marker. *)
+let gen_program rng =
+  let n = Prop.int ~lo:3 ~hi:40 rng in
+  List.init n (fun i ->
+      let r () = Prop.int ~lo:0 ~hi:7 rng in
+      match Prop.int ~lo:0 ~hi:9 rng with
+      | 0 -> Insn.Add (r (), r (), r ())
+      | 1 -> Insn.Mul (r (), r (), r ())
+      | 2 -> Insn.Addi (r (), r (), Prop.int ~lo:(-8) ~hi:8 rng)
+      | 3 -> Insn.Lwz (r (), 0x200, 0)
+      | 4 -> Insn.Sw (0x200, 0, r ())
+      | 5 -> Insn.Sfi (Insn.Ltu, r (), Prop.int ~lo:0 ~hi:8 rng)
+      | 6 -> Insn.Bf (Prop.int ~lo:1 ~hi:(max 1 (n - i)) rng)
+      | 7 -> Insn.Xor (r (), r (), r ())
+      | 8 -> Insn.Lbz (r (), 0x201, 0)
+      | _ -> Insn.Sh (0x202, 0, r ()))
+  @ [ Insn.Nop Insn.nop_exit ]
+
+let load_insns insns =
+  let program = Sfi_isa.Program.of_insns insns in
+  let mem = Memory.create ~size:4096 in
+  Memory.load_program mem program;
+  mem
+
+(* Restoring any stride-boundary snapshot and rerunning the suffix must
+   reproduce the full run cycle-for-cycle: identical final stats and an
+   identical fault-hook call stream (cycle, class, operands, result)
+   from the restore point on — under either engine. *)
+let prop_snapshot_roundtrip =
+  Prop.test ~cases:150 "restored suffix equals full run"
+    (Prop.pair gen_program (Prop.int ~lo:5 ~hi:100))
+    (fun (insns, stride) ->
+      let calls = ref [] in
+      let hook ~cycle ~cls ~a ~b ~result =
+        calls := (cycle, Op_class.index cls, a, b, result) :: !calls;
+        0
+      in
+      let config =
+        { Cpu.default_config with Cpu.max_cycles = 5_000; Cpu.fault_hook = Some hook }
+      in
+      let snaps = ref [] in
+      let full_mem = load_insns insns in
+      let full_stats =
+        Cpu.run_recording ~config ~stride
+          ~on_snapshot:(fun s -> snaps := (s, Memory.copy full_mem) :: !snaps)
+          full_mem ~entry:0
+      in
+      let full_calls = List.rev !calls in
+      !snaps <> []
+      && List.for_all
+           (fun (snap, mem_at_snap) ->
+             let from = Cpu.snapshot_cycle snap in
+             let expect =
+               List.filter (fun (c, _, _, _, _) -> c >= from) full_calls
+             in
+             List.for_all
+               (fun engine ->
+                 calls := [];
+                 let mem = Memory.copy mem_at_snap in
+                 let stats = Cpu.run ~config ~engine ~resume:snap mem ~entry:0 in
+                 stats = full_stats && List.rev !calls = expect)
+               [ Cpu.Interp; Cpu.Compiled ])
+           !snaps)
+
+(* --- analytic first-fault sampling vs full replay --- *)
+
+let ff_bench = lazy (Option.get (Sfi_kernels.Registry.by_name "median"))
+
+let ff_model = Sfi_fi.Model.Fixed_probability { bit_flip_prob = 0.002 }
+
+let ff_trace =
+  lazy
+    (let bench = Lazy.force ff_bench in
+     let ref_cycles = Sfi_fi.Campaign.reference_cycles bench in
+     Option.get
+       (Sfi_fi.Fastforward.trace_for ~bench
+          ~stride:(Sfi_fi.Fastforward.stride_for ~ref_cycles)))
+
+exception Found of int * int
+
+(* First fault of a genuine full-replay trial: a real injector on the
+   real ISS, stopped at the first nonzero mask. *)
+let full_first_fault ~rng =
+  let bench = Lazy.force ff_bench in
+  let inj =
+    Sfi_fi.Injector.create ~count_obs:false ~model:ff_model ~freq_mhz:700. ~rng ()
+  in
+  let h = Sfi_fi.Injector.hook inj in
+  let hook ~cycle ~cls ~a ~b ~result =
+    if h ~cycle ~cls ~a ~b ~result <> 0 then raise (Found (cycle, Op_class.index cls))
+    else 0
+  in
+  let budget = (3 * Sfi_fi.Campaign.reference_cycles bench) + 65536 in
+  let config =
+    { Cpu.default_config with Cpu.max_cycles = budget; Cpu.fault_hook = Some hook }
+  in
+  let mem = Bench.fresh_memory bench in
+  match
+    Cpu.run ~config ~engine:Cpu.Interp mem
+      ~entry:bench.Bench.program.Sfi_isa.Program.entry
+  with
+  | _ -> None
+  | exception Found (c, k) -> Some (c, k)
+
+let probe_first_fault ~rng =
+  match
+    Sfi_fi.Fastforward.first_fault ~model:ff_model ~freq_mhz:700.
+      ~trace:(Lazy.force ff_trace) ~rng
+  with
+  | None -> None
+  | Some (c, cls) -> Some (c, Op_class.index cls)
+
+(* Draw-accounting exactness: on the same RNG stream the analytic probe
+   and the full replay find the identical first fault. *)
+let test_first_fault_exact () =
+  for seed = 1 to 500 do
+    let full = full_first_fault ~rng:(Rng.of_int seed) in
+    let probe = probe_first_fault ~rng:(Rng.of_int seed) in
+    if full <> probe then
+      Alcotest.failf "seed %d: full replay and probe disagree" seed
+  done
+
+(* Two-sample Kolmogorov-Smirnov statistic over int samples. *)
+let ks_stat a b =
+  let a = Array.copy a and b = Array.copy b in
+  Array.sort compare a;
+  Array.sort compare b;
+  let na = Array.length a and nb = Array.length b in
+  let d = ref 0. and i = ref 0 and j = ref 0 in
+  (* advance past every element equal to the current value on both
+     sides before comparing — the samples are discrete and heavily
+     tied, and the CDFs only jump at distinct values *)
+  while !i < na && !j < nb do
+    let v = if a.(!i) <= b.(!j) then a.(!i) else b.(!j) in
+    while !i < na && a.(!i) = v do
+      incr i
+    done;
+    while !j < nb && b.(!j) = v do
+      incr j
+    done;
+    let fa = float_of_int !i /. float_of_int na in
+    let fb = float_of_int !j /. float_of_int nb in
+    d := Float.max !d (Float.abs (fa -. fb))
+  done;
+  !d
+
+(* Distributional agreement on disjoint seed sets: 10k full-replay
+   trials vs 10k analytically sampled ones. KS on the first-fault
+   cycles (the 0.1% critical value at n=m=10k is ~0.028) and a
+   two-sample chi-square on the per-class first-fault counts. *)
+let test_first_fault_distribution () =
+  let n = 10_000 in
+  let collect f lo =
+    Array.to_list (Array.init n (fun i -> f ~rng:(Rng.of_int (lo + i))))
+    |> List.filter_map Fun.id
+  in
+  let full = collect full_first_fault 1 in
+  let probe = collect probe_first_fault 20_001 in
+  (* p = 0.002 faults nearly every trial; both sides must agree on the
+     faulting fraction to within noise before the shape tests mean
+     anything. *)
+  let frac xs = float_of_int (List.length xs) /. float_of_int n in
+  Alcotest.(check bool) "faulting fractions close" true
+    (Float.abs (frac full -. frac probe) < 0.02);
+  let cycles xs = Array.of_list (List.map fst xs) in
+  let d = ks_stat (cycles full) (cycles probe) in
+  if d > 0.035 then Alcotest.failf "KS statistic %.4f exceeds 0.035" d;
+  let class_counts xs =
+    let t = Array.make Op_class.count 0 in
+    List.iter (fun (_, k) -> t.(k) <- t.(k) + 1) xs;
+    t
+  in
+  let ca = class_counts full and cb = class_counts probe in
+  let chi2 = ref 0. and df = ref (-1) in
+  Array.iteri
+    (fun k a ->
+      let b = cb.(k) in
+      if a + b >= 10 then begin
+        incr df;
+        let a = float_of_int a and b = float_of_int b in
+        chi2 := !chi2 +. (((a -. b) ** 2.) /. (a +. b))
+      end)
+    ca;
+  (* 0.1% critical values: df<=8 -> ~26; stay well under with margin *)
+  if !chi2 > 30. then
+    Alcotest.failf "per-class chi-square %.2f (df %d) exceeds 30" !chi2 !df
+
 let () =
   Alcotest.run "sfi_prop"
     [
@@ -253,5 +448,13 @@ let () =
           prop_u32_add; prop_u32_sub; prop_u32_mul; prop_u32_logic; prop_u32_shifts;
           prop_u32_signed_roundtrip; prop_u32_popcount; prop_u32_set_bit_domain;
           prop_u32_flip_bits_domain; prop_u32_closure;
+        ] );
+      ( "fastforward",
+        [
+          prop_snapshot_roundtrip;
+          Alcotest.test_case "first fault exact on shared stream" `Quick
+            test_first_fault_exact;
+          Alcotest.test_case "first fault distribution (KS + chi-square)" `Quick
+            test_first_fault_distribution;
         ] );
     ]
