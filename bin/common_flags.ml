@@ -210,3 +210,52 @@ let spec_flags =
   in
   Term.(const build $ seed_arg $ adaptive_arg $ batch_arg $ max_trials_arg
         $ ci_target_arg $ checkpoint_arg $ fastforward_arg)
+
+(* ---------- fault-model flags ---------- *)
+
+(* --model: any key in the Fi.Model registry (case-insensitive), looked
+   up at run time so externally registered models parse too. *)
+let model_arg =
+  Arg.(value
+       & opt string "C"
+       & info [ "model" ] ~docv:"KEY"
+           ~doc:"Fault model by registry key (see $(b,sfi models)): the paper's \
+                 A, B, B+, C, C-corr, or an attack family (glitch, skip, \
+                 opcode, state). Case-insensitive.")
+
+(* --model-param: repeatable NAME=VALUE overrides for the model's
+   registered parameters; values parse as int, then float, then bool,
+   else string, and the registry validates names and types. *)
+let model_param_arg =
+  Arg.(value
+       & opt_all string []
+       & info [ "model-param" ] ~docv:"NAME=VALUE"
+           ~doc:"Override one model parameter (repeatable), e.g. \
+                 --model glitch --model-param start=200 --model-param \
+                 drop_mv=150. Names and types are validated against the \
+                 model's registry entry.")
+
+let parse_model_params specs =
+  let parse_value v =
+    match int_of_string_opt v with
+    | Some i -> Sfi_obs.Json.Int i
+    | None -> (
+      match float_of_string_opt v with
+      | Some f -> Sfi_obs.Json.Float f
+      | None -> (
+        match v with
+        | "true" -> Sfi_obs.Json.Bool true
+        | "false" -> Sfi_obs.Json.Bool false
+        | s -> Sfi_obs.Json.String s))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+      match String.index_opt spec '=' with
+      | Some i when i > 0 ->
+        let name = String.sub spec 0 i in
+        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+        go ((name, parse_value v) :: acc) rest
+      | _ -> Error (Printf.sprintf "bad --model-param %S (expected NAME=VALUE)" spec))
+  in
+  go [] specs

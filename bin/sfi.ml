@@ -181,9 +181,6 @@ let campaign_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"BENCH" ~doc:"median, mat_mult_8bit, mat_mult_16bit, kmeans, dijkstra.")
   in
-  let model_name =
-    Arg.(value & opt string "C" & info [ "model" ] ~doc:"A, B, B+, C or C-corr.")
-  in
   let vdd = Arg.(value & opt float 0.7 & info [ "vdd" ]) in
   let sigma_mv = Arg.(value & opt float 10. & info [ "sigma" ] ~doc:"Noise sigma in mV.") in
   let trials = Arg.(value & opt int 50 & info [ "trials" ]) in
@@ -203,8 +200,8 @@ let campaign_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Also write the sweep as JSON (schema sfi-point/1).")
   in
-  let run bench_name model_name vdd sigma_mv trials lo hi step prob char_cycles csv json
-      jobs obs cache_dir engine cpu_engine
+  let run bench_name model_name model_params vdd sigma_mv trials lo hi step prob
+      char_cycles csv json jobs obs cache_dir engine cpu_engine
       (spec_flags : ?fixed_trials:int -> unit -> Sfi_fi.Campaign.Spec.t) =
     apply_jobs jobs;
     apply_cache_dir cache_dir;
@@ -220,16 +217,25 @@ let campaign_cmd =
       let config = { Sfi_core.Flow.default_config with Sfi_core.Flow.char_cycles } in
       let flow = Sfi_core.Flow.create ~config () in
       let sigma = sigma_mv /. 1000. in
+      let params =
+        match Common_flags.parse_model_params model_params with
+        | Ok ps -> ps
+        | Error e ->
+          Printf.eprintf "sfi: %s\n" e;
+          exit 1
+      in
+      (* --prob keeps its historic meaning as model A's parameter; an
+         explicit --model-param p=... wins. *)
+      let params =
+        if String.uppercase_ascii model_name = "A" && not (List.mem_assoc "p" params)
+        then ("p", Sfi_obs.Json.Float prob) :: params
+        else params
+      in
       let model =
-        match String.uppercase_ascii model_name with
-        | "A" -> Sfi_core.Flow.model_a ~bit_flip_prob:prob
-        | "B" -> Sfi_core.Flow.model_b flow ~vdd
-        | "B+" -> Sfi_core.Flow.model_bplus flow ~vdd ~sigma
-        | "C" -> Sfi_core.Flow.model_c flow ~vdd ~sigma ()
-        | "C-CORR" ->
-          Sfi_core.Flow.model_c ~sampling:Sfi_fi.Model.Vector_correlated flow ~vdd ~sigma ()
-        | other ->
-          Printf.eprintf "unknown model %s\n" other;
+        match Sfi_core.Flow.model_by_key ~params flow ~key:model_name ~vdd ~sigma with
+        | Ok m -> m
+        | Error e ->
+          Printf.eprintf "sfi: %s\n" e;
           exit 1
       in
       let spec = spec_flags ~fixed_trials:trials () in
@@ -239,7 +245,7 @@ let campaign_cmd =
         Sfi_util.Table.create
           ~title:
             (Printf.sprintf "%s under model %s at %.2f V, sigma %.0f mV (%s)" bench_name
-               model_name vdd sigma_mv
+               (Sfi_fi.Model.key model) vdd sigma_mv
                (Sfi_fi.Campaign.Spec.policy_to_string spec.Sfi_fi.Campaign.Spec.trials))
           [
             ("f [MHz]", Sfi_util.Table.Right);
@@ -276,7 +282,7 @@ let campaign_cmd =
             ~meta:
               [
                 ("bench", Sfi_obs.Json.String bench_name);
-                ("model", Sfi_obs.Json.String model_name);
+                ("model", Sfi_obs.Json.String (Sfi_fi.Model.to_string model));
                 ("vdd", Sfi_obs.Json.Float vdd);
                 ("sigma_mv", Sfi_obs.Json.Float sigma_mv);
                 ( "policy",
@@ -304,7 +310,8 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a Monte-Carlo fault-injection frequency sweep.")
-    Term.(const run $ bench_name $ model_name $ vdd $ sigma_mv $ trials $ lo $ hi $ step
+    Term.(const run $ bench_name $ Common_flags.model_arg $ Common_flags.model_param_arg
+          $ vdd $ sigma_mv $ trials $ lo $ hi $ step
           $ prob $ char_cycles $ csv $ json $ jobs_arg $ obs_arg $ cache_dir_arg
           $ engine_arg $ cpu_engine_arg $ Common_flags.spec_flags)
 
@@ -612,13 +619,63 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Execute a program and print the first N retired instructions.")
     Term.(const run $ file $ limit $ cpu_engine_arg)
 
+(* ---------- sfi models ---------- *)
+
+let models_cmd =
+  let run () =
+    let yn b = if b then "yes" else "no" in
+    let t =
+      Sfi_util.Table.create ~title:"registered fault models"
+        [
+          ("key", Sfi_util.Table.Left);
+          ("description", Sfi_util.Table.Left);
+          ("technique", Sfi_util.Table.Left);
+          ("timing data", Sfi_util.Table.Left);
+          ("cycle-dep", Sfi_util.Table.Left);
+          ("params (defaults)", Sfi_util.Table.Left);
+        ]
+    in
+    List.iter
+      (fun (e : Sfi_fi.Model.Registry.entry) ->
+        let params =
+          match e.Sfi_fi.Model.Registry.default_params with
+          | [] -> "-"
+          | ps ->
+            let value = function
+              (* %g, not the JSON codec's round-trip form: 1e-06 reads
+                 better than 9.9999999999999995e-07 in a listing. *)
+              | Sfi_obs.Json.Float f -> Printf.sprintf "%g" f
+              | v -> Sfi_obs.Json.to_string v
+            in
+            String.concat " "
+              (List.map (fun (n, v) -> Printf.sprintf "%s=%s" n (value v)) ps)
+        in
+        Sfi_util.Table.add_row t
+          [
+            e.Sfi_fi.Model.Registry.key;
+            e.Sfi_fi.Model.Registry.doc;
+            e.Sfi_fi.Model.Registry.features.Sfi_fi.Model.technique;
+            e.Sfi_fi.Model.Registry.features.Sfi_fi.Model.timing_data;
+            yn e.Sfi_fi.Model.Registry.cycle_dependent;
+            params;
+          ])
+      (Sfi_fi.Model.Registry.entries ());
+    Sfi_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:
+         "List the registered fault models: the paper's timing-error models and \
+          the adversarial attack families, with their default parameters.")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "sfi" ~version:"1.0.0"
        ~doc:
          "Statistical fault injection for impact-evaluation of timing errors (DAC'16 \
           reproduction).")
-    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; stats_cmd; cache_cmds;
-      verilog_cmd; paths_cmd; trace_cmd ]
+    [ experiments_cmd; flow_cmd; asm_cmd; run_cmd; campaign_cmd; models_cmd; stats_cmd;
+      cache_cmds; verilog_cmd; paths_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -616,6 +616,96 @@ let extension_kernels ctx =
       print_newline ())
     (Registry.extension_suite ())
 
+let attack ctx =
+  (* Adversarial campaign on the checksum-guarded AES kernel: every trial
+     is classified the way the fault-attack literature scores an attempt
+     (correct / detected by a guard / attack success = flag clear with
+     exactly one ciphertext word corrupted / silent data corruption /
+     crash). The clock stays inside the STA-safe region so the only
+     faults are the attack's own. *)
+  let b = Aes.create () in
+  ignore (Bench.validate b);
+  let vdd = 0.7 in
+  let fsta = Flow.sta_limit_mhz ctx.flow ~vdd in
+  let freq = fsta *. 0.98 in
+  let model key params =
+    match Flow.model_by_key ~params ctx.flow ~key ~vdd ~sigma:0. with
+    | Ok m -> m
+    | Error e -> failwith ("attack experiment: " ^ e)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Attack campaign on the guarded AES kernel at %.0f MHz (STA %.0f MHz, %.1f V)"
+           freq fsta vdd)
+      [
+        ("attack", Table.Left);
+        ("trials", Table.Right);
+        ("correct", Table.Right);
+        ("detected", Table.Right);
+        ("success", Table.Right);
+        ("SDC", Table.Right);
+        ("crash", Table.Right);
+      ]
+  in
+  let classify (tr : Campaign.trial) =
+    if not tr.Campaign.finished then 4
+    else if tr.Campaign.error = Aes.class_correct then 0
+    else if tr.Campaign.error = Aes.class_detected then 1
+    else if tr.Campaign.error = Aes.class_attack_success then 2
+    else 3
+  in
+  (* Each row pools the trials of one or more model instances — the
+     glitch row scans the trigger offset the way a bench attacker does,
+     since a given window is deterministic (no RNG draws). *)
+  let row ~label ~trials models =
+    let counts = Array.make 5 0 in
+    let total = ref 0 in
+    List.iter
+      (fun m ->
+        let _, trs =
+          Campaign.run_detailed (spec_for ctx trials) ~bench:b ~model:m ~freq_mhz:freq
+        in
+        Array.iter (fun tr -> counts.(classify tr) <- counts.(classify tr) + 1) trs;
+        total := !total + Array.length trs)
+      models;
+    let pct n = fmt_rate (float_of_int n /. float_of_int (max 1 !total)) in
+    Table.add_row t
+      [
+        label;
+        string_of_int !total;
+        pct counts.(0);
+        pct counts.(1);
+        pct counts.(2);
+        pct counts.(3);
+        pct counts.(4);
+      ]
+  in
+  let open Sfi_obs.Json in
+  (* Trigger offsets spanning the whole run — checksum, both encryptions
+     and the compare/output tail — like an attacker sweeping the glitch
+     delay against a trigger. *)
+  let ref_cycles = Campaign.reference_cycles b in
+  let scan = 16 in
+  let glitch_starts =
+    List.init scan (fun i -> ref_cycles * (2 + (6 * i)) / (6 * scan))
+  in
+  row ~label:"glitch (offset scan)" ~trials:1
+    (List.map
+       (fun s ->
+         model "glitch"
+           [ ("start", Int s); ("len", Int 2); ("drop_mv", Float 60.) ])
+       glitch_starts);
+  row ~label:"skip (p=5e-4)" ~trials:ctx.scale.trials
+    [ model "skip" [ ("p", Float 5e-4) ] ];
+  row ~label:"opcode (p=5e-4)" ~trials:ctx.scale.trials
+    [ model "opcode" [ ("p", Float 5e-4) ] ];
+  let lo, hi = Aes.data_word_range b in
+  row ~label:"state (2 flips, data)" ~trials:ctx.scale.trials
+    [ model "state" [ ("flips", Int 2); ("word_lo", Int lo); ("word_hi", Int hi) ] ];
+  Table.print t
+
 let quality_margins ctx =
   (* The paper's conclusion: the tool can "determine the timing margins
      required to achieve a desired quality metric". For each kernel, find
@@ -751,6 +841,7 @@ let all =
     ("quality-margins", "timing margins required per quality envelope");
     ("bottlenecks", "reliability bottlenecks: onset profiles & critical paths");
     ("extension-kernels", "crc32 and fir beyond the paper's benchmark set");
+    ("attack", "adversarial fault-attack campaign on the guarded AES kernel");
   ]
 
 let run_one ctx = function
@@ -770,6 +861,7 @@ let run_one ctx = function
   | "quality-margins" -> quality_margins ctx; true
   | "bottlenecks" -> bottlenecks ctx; true
   | "extension-kernels" -> extension_kernels ctx; true
+  | "attack" -> attack ctx; true
   | _ -> false
 
 let run ctx ids =

@@ -81,7 +81,16 @@ let char_db ?(profile = Characterize.uniform32) t ~vdd =
         Hashtbl.replace t.dbs key db;
         db)
 
-let model_a ~bit_flip_prob = Sfi_fi.Model.Fixed_probability { bit_flip_prob }
+(* The [model_*] helpers go through the registry; a build error here is
+   a programming error (the built-in entries exist and their resource
+   requirements are satisfied by construction), so unwrap loudly. *)
+let ok_model = function Ok m -> m | Error e -> invalid_arg ("Flow: " ^ e)
+
+let model_a ~bit_flip_prob =
+  ok_model
+    (Sfi_fi.Model.of_key "A"
+       ~params:[ ("p", Sfi_obs.Json.Float bit_flip_prob) ]
+       ~resources:Sfi_fi.Model.default_resources)
 
 let endpoint_arrivals_at t ~vdd =
   let report =
@@ -90,37 +99,69 @@ let endpoint_arrivals_at t ~vdd =
   in
   Array.map snd report.Sta.endpoints
 
+let static_resources t ~vdd ~noise =
+  {
+    Sfi_fi.Model.default_resources with
+    Sfi_fi.Model.vdd;
+    noise;
+    vdd_model = t.config.vdd_model;
+    setup_ps = Sta.default_setup_ps;
+    endpoint_arrivals = Some (endpoint_arrivals_at t ~vdd);
+  }
+
 let model_b t ~vdd =
-  Sfi_fi.Model.Static_timing
-    {
-      endpoint_arrivals = endpoint_arrivals_at t ~vdd;
-      setup_ps = Sta.default_setup_ps;
-      vdd;
-      noise = Noise.none;
-      vdd_model = t.config.vdd_model;
-    }
+  ok_model (Sfi_fi.Model.of_key "B" ~resources:(static_resources t ~vdd ~noise:Noise.none))
 
 let model_bplus t ~vdd ~sigma =
-  Sfi_fi.Model.Static_timing
-    {
-      endpoint_arrivals = endpoint_arrivals_at t ~vdd;
-      setup_ps = Sta.default_setup_ps;
-      vdd;
-      noise = Noise.create ~sigma ();
-      vdd_model = t.config.vdd_model;
-    }
+  (* sigma = 0 degenerates to model B — same key (and so the same obs
+     counter labels and printable form) the variant-era [Model.name]
+     produced; the fingerprint bytes are identical either way. *)
+  let key = if sigma = 0. then "B" else "B+" in
+  ok_model
+    (Sfi_fi.Model.of_key key
+       ~resources:(static_resources t ~vdd ~noise:(Noise.create ~sigma ())))
 
 let model_c ?(sampling = Sfi_fi.Model.Independent) ?(profile = Characterize.uniform32)
     ?operating_vdd t ~vdd ~sigma () =
-  let db = char_db ~profile t ~vdd in
-  Sfi_fi.Model.Statistical
-    {
-      db;
-      vdd = Option.value operating_vdd ~default:vdd;
-      noise = Noise.create ~sigma ();
-      vdd_model = t.config.vdd_model;
-      sampling;
-    }
+  let key =
+    match sampling with
+    | Sfi_fi.Model.Independent -> "C"
+    | Sfi_fi.Model.Vector_correlated -> "C-corr"
+  in
+  ok_model
+    (Sfi_fi.Model.of_key key
+       ~resources:
+         {
+           Sfi_fi.Model.default_resources with
+           Sfi_fi.Model.vdd = Option.value operating_vdd ~default:vdd;
+           noise = Noise.create ~sigma ();
+           vdd_model = t.config.vdd_model;
+           db = Some (char_db ~profile t ~vdd);
+         })
+
+let model_by_key ?(params = []) ?(profile = Characterize.uniform32) t ~key ~vdd ~sigma =
+  match Sfi_fi.Model.Registry.find key with
+  | None ->
+    Error
+      (Printf.sprintf "unknown model %S (registered: %s)" key
+         (String.concat ", " (Sfi_fi.Model.Registry.keys ())))
+  | Some entry ->
+    let resources =
+      {
+        Sfi_fi.Model.vdd;
+        noise = Noise.create ~sigma ();
+        vdd_model = t.config.vdd_model;
+        setup_ps = Sta.default_setup_ps;
+        endpoint_arrivals =
+          (if entry.Sfi_fi.Model.Registry.wants_arrivals then
+             Some (endpoint_arrivals_at t ~vdd)
+           else None);
+        db =
+          (if entry.Sfi_fi.Model.Registry.wants_db then Some (char_db ~profile t ~vdd)
+           else None);
+      }
+    in
+    Sfi_fi.Model.Registry.make ~params entry resources
 
 let summary t =
   let buf = Buffer.create 512 in

@@ -76,6 +76,23 @@ val model_c :
     operates away from the characterization voltage — the mechanism of
     the voltage-scaling study (Fig. 7). *)
 
+val model_by_key :
+  ?params:(string * Sfi_obs.Json.t) list ->
+  ?profile:Characterize.operand_profile ->
+  t ->
+  key:string ->
+  vdd:float ->
+  sigma:float ->
+  (Sfi_fi.Model.t, string) result
+(** Builds {e any} registered model by key, provisioning exactly the
+    flow resources its registry entry declares: STA endpoint arrivals
+    at [vdd] for [wants_arrivals] entries (B, B+, glitch), the cached
+    DTA characterization for [wants_db] entries (C, C-corr). [sigma]
+    feeds the supply-noise model where the entry uses one; [params]
+    override the entry's defaults (e.g. the glitch window). This is the
+    CLI's [--model]/[--model-param] entry point — unknown keys and bad
+    parameters come back as [Error] with the registered keys listed. *)
+
 val summary : t -> string
 (** Human-readable description of the realized flow: netlist size,
     sizing report, STA limit, characterization state (the textual

@@ -142,6 +142,11 @@ let run_trial_with ~bench ~model ~freq_mhz ~rng =
     }
   in
   let mem = Bench.fresh_memory bench in
+  (* Per-trial state hook: architectural-state attack models flip bits
+     in the freshly loaded image here; every built-in is a no-op that
+     draws nothing, so the RNG stream (and thus every historic result)
+     is unchanged. *)
+  let (_ : int) = Injector.trial_start injector mem in
   let stats = Cpu.run ~config mem ~entry:bench.Bench.program.Sfi_isa.Program.entry in
   let finished = stats.Cpu.outcome = Cpu.Exited in
   let actual = if finished then Bench.read_output bench mem else [||] in
@@ -306,45 +311,7 @@ let batch_of_json ~expect = function
    deliberately excluded: they only decide how many batches run, so a
    resume with a raised [max_trials] or a tightened [ci_target] still
    reuses every batch already on disk. *)
-let add_model_inputs fp model =
-  let open Sfi_cache.Fingerprint in
-  let add_noise noise =
-    add_float fp (Sfi_timing.Noise.sigma noise);
-    add_float fp (Sfi_timing.Noise.clip noise)
-  in
-  let add_vdd_model vm =
-    List.iter
-      (fun (v, d) ->
-        add_float fp v;
-        add_float fp d)
-      (Sfi_timing.Vdd_model.anchors vm)
-  in
-  match model with
-  | Model.Fixed_probability { bit_flip_prob } ->
-    add_string fp "A";
-    add_float fp bit_flip_prob
-  | Model.Static_timing { endpoint_arrivals; setup_ps; vdd; noise; vdd_model } ->
-    add_string fp "B";
-    add_float_array fp endpoint_arrivals;
-    add_float fp setup_ps;
-    add_float fp vdd;
-    add_noise noise;
-    add_vdd_model vdd_model
-  | Model.Statistical { db; vdd; noise; vdd_model; sampling } ->
-    add_string fp "C";
-    add_float fp db.Sfi_timing.Characterize.vdd;
-    add_float fp db.Sfi_timing.Characterize.setup_ps;
-    add_int fp db.Sfi_timing.Characterize.cycles;
-    Array.iter
-      (fun (cdb : Sfi_timing.Characterize.class_db) ->
-        add_string fp cdb.Sfi_timing.Characterize.profile_name;
-        Array.iter (add_float_array fp) cdb.Sfi_timing.Characterize.cycle_arrivals)
-      db.Sfi_timing.Characterize.classes;
-    add_float fp vdd;
-    add_noise noise;
-    add_vdd_model vdd_model;
-    add_string fp
-      (match sampling with Model.Independent -> "indep" | Model.Vector_correlated -> "corr")
+let add_model_inputs fp model = Model.add_fingerprint model fp
 
 (* The expensive model/bench part is hashed once per run/sweep; the
    per-point key only appends the frequency to that prefix. *)
@@ -370,7 +337,7 @@ let point_key ~prefix ~freq_mhz =
    index order, and the results come back from the pool in input order —
    so a point is bit-identical for every job count, and [Fixed n]
    reproduces the historic single-batch engine exactly. *)
-let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
+let run_point_full pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
   Sfi_obs.Counter.incr obs_points;
   Sfi_obs.Span.time (obs_bench_span bench.Bench.name) @@ fun () ->
   let root = Rng.of_int (spec.Spec.seed lxor 0x0F1) in
@@ -380,17 +347,21 @@ let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
     (* Deterministic fault-free region: one run represents all trials. *)
     let t = run_trial_with ~bench ~model ~freq_mhz ~rng:(Rng.copy root) in
     Sfi_obs.Counter.incr obs_batches;
-    aggregate ~freq_mhz ~any_fault_possible:false ~trials_requested [ t ]
+    (aggregate ~freq_mhz ~any_fault_possible:false ~trials_requested [ t ], [| t |])
   end
   else begin
     let ref_cycles = reference_cycles bench in
     (* Fast-forward: one engine-neutral snapshot trace per benchmark,
        shared by every trial of every point. A reference run that does
        not exit cleanly yields no trace and the point silently falls
-       back to full replay — same results either way by contract. *)
+       back to full replay — same results either way by contract. A
+       cycle-dependent model (the attack families) also yields no trace,
+       with a counted fallback, because the probe's schedule replay
+       would be unsound for it. *)
     let ff_trace =
       if Spec.resolve_fastforward spec.Spec.fastforward then
-        Fastforward.trace_for ~bench ~stride:(Fastforward.stride_for ~ref_cycles)
+        Fastforward.trace_for_model ~bench ~model
+          ~stride:(Fastforward.stride_for ~ref_cycles)
       else None
     in
     let run_one rng =
@@ -463,9 +434,13 @@ let run_point_in pool (spec : Spec.t) ~ckpt ~bench ~model ~freq_mhz =
         end
       | _ -> ()
     done;
-    aggregate ~freq_mhz ~any_fault_possible:true ~trials_requested
-      (List.concat_map Array.to_list (List.rev !batches))
+    let all = List.concat_map Array.to_list (List.rev !batches) in
+    ( aggregate ~freq_mhz ~any_fault_possible:true ~trials_requested all,
+      Array.of_list all )
   end
+
+let run_point_in pool spec ~ckpt ~bench ~model ~freq_mhz =
+  fst (run_point_full pool spec ~ckpt ~bench ~model ~freq_mhz)
 
 (* The checkpoint handle: (path, key prefix, index of valid on-disk
    records). Loaded once per run/sweep; the index is read-only
@@ -482,6 +457,12 @@ let run spec ~bench ~model ~freq_mhz =
   let ckpt = open_checkpoint spec ~bench ~model in
   Pool.using ?jobs:spec.Spec.jobs (fun pool ->
       run_point_in pool spec ~ckpt ~bench ~model ~freq_mhz)
+
+let run_detailed spec ~bench ~model ~freq_mhz =
+  let spec = Spec.validate spec in
+  let ckpt = open_checkpoint spec ~bench ~model in
+  Pool.using ?jobs:spec.Spec.jobs (fun pool ->
+      run_point_full pool spec ~ckpt ~bench ~model ~freq_mhz)
 
 let run_sweep spec ~bench ~model ~freqs_mhz =
   let spec = Spec.validate spec in

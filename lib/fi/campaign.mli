@@ -81,6 +81,15 @@ val run : Spec.t -> bench:Bench.t -> model:Model.t -> freq_mhz:float -> point
     [run_point ~trials:n] bit-for-bit. Raises [Invalid_argument] on an
     invalid spec. *)
 
+val run_detailed :
+  Spec.t -> bench:Bench.t -> model:Model.t -> freq_mhz:float -> point * trial array
+(** {!run}, plus the individual trials behind the aggregate, in the
+    deterministic trial order (so any per-trial classification derived
+    from them — e.g. the attack experiment's success/SDC/detected
+    split — inherits the point's bit-identical-across-jobs-and-resumes
+    contract). The array holds the single representative run when the
+    point is proven fault-free. *)
+
 val run_sweep :
   Spec.t -> bench:Bench.t -> model:Model.t -> freqs_mhz:float list -> point list
 (** Frequency points pipeline through the same [jobs]-domain pool their

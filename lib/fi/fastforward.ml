@@ -234,6 +234,19 @@ let trace_for =
           cell := Some t;
           t)
 
+(* Counted fallback for models the probe cannot soundly replay: how the
+   trace was (not) obtained is elided-work metadata, det:false like the
+   rest of the family. *)
+let obs_model_unsupported =
+  Sfi_obs.Counter.make ~det:false "fastforward.model_unsupported"
+
+let trace_for_model ~bench ~model ~stride =
+  if Model.cycle_dependent model then begin
+    Sfi_obs.Counter.incr obs_model_unsupported;
+    None
+  end
+  else trace_for ~bench ~stride
+
 (* ---------- the fast-forwarded trial ---------- *)
 
 type result = {

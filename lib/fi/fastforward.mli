@@ -36,6 +36,15 @@ val trace_for : bench:Bench.t -> stride:int -> trace option
     in-process and in {!Sfi_cache}. [None] when the reference run does
     not exit cleanly — callers fall back to full replay. *)
 
+val trace_for_model : bench:Bench.t -> model:Model.t -> stride:int -> trace option
+(** {!trace_for}, gated on the model's fast-forward contract: a
+    {!Model.cycle_dependent} model (every attack family) gets [None] —
+    bumping the det:false [fastforward.model_unsupported] counter — so
+    the campaign falls back to full replay instead of an unsound probe,
+    whether fast-forward was requested via [Auto] or an explicit [On].
+    Never silently diverges: the probe's schedule replay assumes masks
+    ignore cycle numbers, operand values and pre-run state. *)
+
 type result = {
   finished : bool;
   correct : bool;

@@ -1,345 +1,76 @@
 open Sfi_util
-open Sfi_timing
 
 type t = {
-  hook : Sfi_sim.Cpu.fault_hook;
+  inst : Model.instance;
   mutable bits : int;
   mutable events : int;
   by_class : int array;
-  cannot : bool;
-  skippable : Op_class.t -> int option;
   obs_on : bool; (* report to the obs registry (off for probe replays) *)
-  fault_counter : Sfi_obs.Counter.t; (* faults committed, per model name *)
+  fault_counter : Sfi_obs.Counter.t; (* faults committed, per model key *)
 }
 
 (* Observability. The injector's *outcome* — faults committed and their
    bit widths — is a pure function of the requested work and stays
-   deterministic ([injector.faults.<model>], [fault_bits_per_event]).
-   The *work* counters below measure how the outcome was computed: how
-   many hook calls actually ran the per-call math and which fast path
-   short-circuited them. Fast-forward elides fault-free work entirely
-   (the hook never runs for skipped prefixes/trials), so these are
-   registered [~det:false] like the other elided-work families
-   (the cache, cpu and bitsim counters) — identical campaign results
-   keep identical det signatures whether the work was performed or
-   skipped.
-   [attempts.<class>] counts hook invocations per operation class;
-   [skip_table_hits] the quantized noise-table fast path returning a
-   provably-empty mask; [class_cannot_hits] the per-class worst-case
-   short-circuit; [sta_mask_prunes] static-timing binary searches that
-   resolved to an empty mask. *)
+   deterministic ([injector.faults.<key>], [fault_bits_per_event]).
+   [attempts.<class>] counts hook invocations per operation class; it is
+   [~det:false] because fast-forward elides fault-free work entirely
+   (the hook never runs for skipped prefixes/trials) — identical
+   campaign results keep identical det signatures whether the work was
+   performed or skipped. The models' own work counters
+   ([injector.skip_table_hits] and friends) live in {!Model}. *)
 let obs_attempts =
   Array.of_list
     (List.map
        (fun c -> Sfi_obs.Counter.make ~det:false ("injector.attempts." ^ Op_class.name c))
        Op_class.all)
 
-let obs_skip_table = Sfi_obs.Counter.make ~det:false "injector.skip_table_hits"
-
-let obs_class_cannot = Sfi_obs.Counter.make ~det:false "injector.class_cannot_hits"
-
-let obs_sta_prune = Sfi_obs.Counter.make ~det:false "injector.sta_mask_prunes"
-
 let obs_fault_bits = Sfi_obs.Hist.make "injector.fault_bits_per_event"
 
 let fault_counter_for model =
-  Sfi_obs.Counter.make ("injector.faults." ^ Model.name model)
+  Sfi_obs.Counter.make ("injector.faults." ^ Model.key model)
 
 let obs_attempt cls =
   if Sfi_obs.enabled () then
     Sfi_obs.Counter.incr (Array.unsafe_get obs_attempts (Op_class.index cls))
 
-let record t cls mask =
-  if mask <> 0 then begin
-    let n = U32.popcount mask in
+let record t cls n =
+  if n > 0 then begin
     t.bits <- t.bits + n;
     t.events <- t.events + 1;
-    let i = Op_class.index cls in
-    t.by_class.(i) <- t.by_class.(i) + n;
+    (match cls with
+    | Some c ->
+      let i = Op_class.index c in
+      t.by_class.(i) <- t.by_class.(i) + n
+    | None -> ());
     if t.obs_on && Sfi_obs.enabled () then begin
       Sfi_obs.Counter.add t.fault_counter n;
       Sfi_obs.Hist.observe obs_fault_bits n
     end
-  end;
-  mask
-
-(* Worst-case (slowest) delay modulation this noise model can produce at
-   this operating voltage, relative to the voltage the timing data was
-   taken at. *)
-let worst_scale ~vdd_model ~vdd ~ref_vdd ~noise =
-  Vdd_model.derate vdd_model (vdd -. Noise.max_excursion noise)
-  /. Vdd_model.derate vdd_model ref_vdd
-
-(* Safety margin (ps) for the precomputed conservative thresholds below.
-   The alpha-power derate is monotone in exact arithmetic but only
-   ulp-level monotone through [**]; anything within [slack_ps] of a
-   precomputed bound falls through to the exact computation, so the fast
-   paths can only skip work that provably produces an empty mask. *)
-let slack_ps = 1e-6
-
-(* Quantized noise-excursion -> fault-threshold table. Bucket [i] stores
-   the threshold (period /. scale, in characterization-time picoseconds)
-   evaluated at the bucket's lower edge; since delay scale decreases — and
-   the threshold therefore increases — with rising instantaneous supply,
-   that entry is a lower bound on the exact threshold for every noise
-   value in the bucket. A path set whose worst arrival sits below the
-   bound (minus {!slack_ps}) cannot fault, and the per-call [**]
-   evaluations are skipped; otherwise the exact threshold is computed as
-   before, so injected masks are bit-identical to the direct
-   implementation. *)
-type noise_table = { lo : float; inv_step : float; thr : float array }
-
-let noise_buckets = 256
-
-let make_noise_table ~vdd_model ~vdd ~denom ~period ~max_exc ~offset =
-  let step = 2. *. max_exc /. float_of_int noise_buckets in
-  let thr =
-    Array.init (noise_buckets + 1) (fun i ->
-        let nv = -.max_exc +. (step *. float_of_int i) in
-        let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
-        (period /. scale) -. offset)
-  in
-  { lo = -.max_exc; inv_step = 1. /. step; thr }
-
-(* Conservative threshold lower bound for noise value [nv]. *)
-let table_threshold tbl nv =
-  let i = int_of_float ((nv -. tbl.lo) *. tbl.inv_step) in
-  let i = if i < 0 then 0 else if i > noise_buckets then noise_buckets else i in
-  tbl.thr.(i) -. slack_ps
+  end
 
 let create ?(count_obs = true) ~model ~freq_mhz ~rng () =
-  let obs = count_obs in
-  let period = Sta.period_ps_of_mhz freq_mhz in
-  let fault_counter = fault_counter_for model in
-  match model with
-  | Model.Fixed_probability { bit_flip_prob } ->
-    let cannot = bit_flip_prob <= 0. in
-    let rec t =
-      {
-        hook =
-          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            if obs then obs_attempt cls;
-            if cannot then 0
-            else begin
-              let mask = ref 0 in
-              for e = 0 to 31 do
-                if Rng.bernoulli rng bit_flip_prob then mask := !mask lor (1 lsl e)
-              done;
-              record t cls !mask
-            end);
-        bits = 0;
-        events = 0;
-        by_class = Array.make Op_class.count 0;
-        cannot;
-        skippable = (if cannot then fun _ -> Some 0 else fun _ -> None);
-        obs_on = obs;
-        fault_counter;
-      }
-    in
-    t
-  | Model.Static_timing { endpoint_arrivals; setup_ps; vdd; noise; vdd_model } ->
-    let with_setup = Array.map (fun a -> a +. setup_ps) endpoint_arrivals in
-    let max_arrival = Array.fold_left Float.max 0. with_setup in
-    let cannot =
-      max_arrival *. worst_scale ~vdd_model ~vdd ~ref_vdd:vdd ~noise <= period
-    in
-    (* Endpoints sorted by decreasing arrival with cumulative-OR prefix
-       masks: the mask at a threshold is the prefix covering exactly the
-       arrivals strictly above it, found by binary search instead of a
-       32-endpoint scan. *)
-    let order =
-      let o = Array.init (Array.length with_setup) Fun.id in
-      Array.sort (fun i j -> compare with_setup.(j) with_setup.(i)) o;
-      o
-    in
-    let sorted_arrivals = Array.map (fun e -> with_setup.(e)) order in
-    let prefix_masks =
-      let n = Array.length order in
-      let pm = Array.make (n + 1) 0 in
-      for k = 0 to n - 1 do
-        pm.(k + 1) <- pm.(k) lor (1 lsl order.(k))
-      done;
-      pm
-    in
-    let mask_at threshold =
-      (* threshold = period / scale; endpoint faults iff arrival+setup
-         exceeds it. Find how many sorted arrivals are > threshold. *)
-      let n = Array.length sorted_arrivals in
-      if n = 0 || sorted_arrivals.(0) <= threshold then 0
-      else begin
-        (* Invariant: arrivals.(lo) > threshold >= arrivals.(hi). *)
-        let lo = ref 0 and hi = ref n in
-        while !hi - !lo > 1 do
-          let mid = (!lo + !hi) / 2 in
-          if mid < n && sorted_arrivals.(mid) > threshold then lo := mid
-          else hi := mid
-        done;
-        prefix_masks.(!hi)
-      end
-    in
-    let static_mask = mask_at period in
-    let has_noise = Noise.sigma noise > 0. in
-    let denom = Vdd_model.derate vdd_model vdd in
-    let tbl =
-      if (not has_noise) || cannot then None
-      else
-        Some
-          (make_noise_table ~vdd_model ~vdd ~denom ~period
-             ~max_exc:(Noise.max_excursion noise) ~offset:0.)
-    in
-    let rec t =
-      {
-        hook =
-          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            if obs then obs_attempt cls;
-            if cannot then 0
-            else if not has_noise then record t cls static_mask
-            else begin
-              let nv = Noise.draw noise rng in
-              match tbl with
-              | Some tbl when max_arrival <= table_threshold tbl nv ->
-                (* Even the bucket's most pessimistic threshold clears the
-                   slowest endpoint: the mask is provably 0. *)
-                if obs then Sfi_obs.Counter.incr obs_skip_table;
-                0
-              | _ ->
-                let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
-                let mask = mask_at (period /. scale) in
-                if obs && mask = 0 then Sfi_obs.Counter.incr obs_sta_prune;
-                record t cls mask
-            end);
-        bits = 0;
-        events = 0;
-        by_class = Array.make Op_class.count 0;
-        cannot;
-        skippable =
-          (if cannot || ((not has_noise) && static_mask = 0) then fun _ -> Some 0
-           else fun _ -> None);
-        obs_on = obs;
-        fault_counter;
-      }
-    in
-    t
-  | Model.Statistical { db; vdd; noise; vdd_model; sampling } ->
-    let ref_vdd = db.Characterize.vdd in
-    let setup = db.Characterize.setup_ps in
-    let denom = Vdd_model.derate vdd_model ref_vdd in
-    let ws = Vdd_model.derate vdd_model (vdd -. Noise.max_excursion noise) /. denom in
-    let cannot = (db.Characterize.max_settle +. setup) *. ws <= period in
-    let classes = db.Characterize.classes in
-    (* Per class: even the worst-case noise excursion leaves the class's
-       slowest characterized path inside the period, so its instructions
-       can never fault and the per-call scale/threshold math is skipped.
-       (Same algebra as the per-call check at the worst-case threshold,
-       with a slack so [**] rounding cannot flip the verdict.) *)
-    let class_cannot =
-      Array.map
-        (fun (c : Characterize.class_db) ->
-          c.Characterize.max_settle <= (period /. ws) -. setup -. slack_ps)
-        classes
-    in
-    (* Per class: per-endpoint maximum settle, for cheap skipping. *)
-    let class_caps =
-      Array.map
-        (fun (c : Characterize.class_db) ->
-          Array.map Cdf.max_value c.Characterize.endpoint_cdfs)
-        classes
-    in
-    let has_noise = Noise.sigma noise > 0. in
-    (* With sigma = 0 every draw is exactly 0, so the threshold is a
-       constant; precompute it once. *)
-    let static_threshold =
-      (period /. (Vdd_model.derate vdd_model (vdd +. 0.) /. denom)) -. setup
-    in
-    let tbl =
-      if (not has_noise) || cannot then None
-      else
-        Some
-          (make_noise_table ~vdd_model ~vdd ~denom ~period
-             ~max_exc:(Noise.max_excursion noise) ~offset:setup)
-    in
-    let rec t =
-      {
-        hook =
-          (fun ~cycle:_ ~cls ~a:_ ~b:_ ~result:_ ->
-            if obs then obs_attempt cls;
-            if cannot then 0
-            else begin
-              let ci = Op_class.index cls in
-              if Array.unsafe_get class_cannot ci then begin
-                (* A sigma = 0 draw consumes no randomness and a positive
-                   sigma draw is consumed here, so skipping the rest of the
-                   hook leaves the RNG stream identical. *)
-                if has_noise then ignore (Noise.draw noise rng : float);
-                if obs then Sfi_obs.Counter.incr obs_class_cannot;
-                0
-              end
-              else begin
-                let nv = if has_noise then Noise.draw noise rng else 0. in
-                let cdb = classes.(ci) in
-                let skip =
-                  match tbl with
-                  | Some tbl -> cdb.Characterize.max_settle <= table_threshold tbl nv
-                  | None -> false
-                in
-                if skip then begin
-                  if obs then Sfi_obs.Counter.incr obs_skip_table;
-                  0
-                end
-                else begin
-                  let threshold =
-                    if has_noise then
-                      let scale = Vdd_model.derate vdd_model (vdd +. nv) /. denom in
-                      (period /. scale) -. setup
-                    else static_threshold
-                  in
-                  if cdb.Characterize.max_settle <= threshold then 0
-                  else begin
-                    match sampling with
-                    | Model.Vector_correlated ->
-                      let k = Rng.int rng db.Characterize.cycles in
-                      let row = cdb.Characterize.cycle_arrivals.(k) in
-                      let mask = ref 0 in
-                      Array.iteri
-                        (fun e s -> if s > threshold then mask := !mask lor (1 lsl e))
-                        row;
-                      record t cls !mask
-                    | Model.Independent ->
-                      let caps = class_caps.(ci) in
-                      let mask = ref 0 in
-                      for e = 0 to Array.length caps - 1 do
-                        if caps.(e) > threshold then begin
-                          let p =
-                            Cdf.prob_greater cdb.Characterize.endpoint_cdfs.(e) threshold
-                          in
-                          if Rng.bernoulli rng p then mask := !mask lor (1 lsl e)
-                        end
-                      done;
-                      record t cls !mask
-                  end
-                end
-              end
-            end);
-        bits = 0;
-        events = 0;
-        by_class = Array.make Op_class.count 0;
-        cannot;
-        skippable =
-          (if cannot then fun _ -> Some 0
-           else
-             fun cls ->
-               if Array.unsafe_get class_cannot (Op_class.index cls) then
-                 Some (if has_noise then 1 else 0)
-               else None);
-        obs_on = obs;
-        fault_counter;
-      }
-    in
-    t
+  {
+    inst = Model.instantiate model ~count_obs ~freq_mhz ~rng;
+    bits = 0;
+    events = 0;
+    by_class = Array.make Op_class.count 0;
+    obs_on = count_obs;
+    fault_counter = fault_counter_for model;
+  }
 
-let hook t = t.hook
+let hook t : Sfi_sim.Cpu.fault_hook =
+ fun ~cycle ~cls ~a ~b ~result ->
+  if t.obs_on then obs_attempt cls;
+  let mask = t.inst.Model.sample ~cycle ~cls ~a ~b ~result in
+  if mask <> 0 then record t (Some cls) (U32.popcount mask);
+  mask
 
-let skippable_gaussians t cls = t.skippable cls
+let trial_start t mem =
+  let n = t.inst.Model.trial_start mem in
+  if n > 0 then record t None n;
+  n
+
+let skippable_gaussians t cls = t.inst.Model.skippable_gaussians cls
 
 let fault_bits t = t.bits
 
@@ -347,4 +78,4 @@ let fault_events t = t.events
 
 let fault_bits_by_class t = Array.copy t.by_class
 
-let cannot_inject t = t.cannot
+let cannot_inject t = t.inst.Model.cannot_inject

@@ -27,6 +27,14 @@ val create : ?count_obs:bool -> model:Model.t -> freq_mhz:float -> rng:Rng.t -> 
 
 val hook : t -> Sfi_sim.Cpu.fault_hook
 
+val trial_start : t -> Sfi_sim.Memory.t -> int
+(** Drives the model's per-trial state hook (architectural-state attack
+    models flip bits in the freshly loaded image here) and folds the
+    flips into the fault counts. Call once per trial, after the
+    benchmark image is loaded and before the first simulated cycle.
+    Returns the number of bits flipped — 0 for every built-in model,
+    which also draws nothing from the RNG. *)
+
 val fault_bits : t -> int
 (** Total bits flipped so far. *)
 

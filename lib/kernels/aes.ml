@@ -1,0 +1,299 @@
+open Sfi_util
+
+(* Checksum-guarded toy AES, the attack-campaign target kernel.
+
+   A 128-bit (4-word) block cipher shaped like AES — whitening, then 6
+   rounds of SubBytes (a random 8-bit S-box), a byte rotation, a word
+   mixing layer and AddRoundKey — small enough to assemble for the OR1K
+   subset yet diffusive enough that a single datapath fault reaches the
+   ciphertext. Two countermeasures guard it, as a fault-attack target
+   would be guarded in practice:
+
+   - an additive checksum over the plaintext, round keys and S-box,
+     verified against a stored constant before encrypting (catches
+     pre-run architectural-state tampering, the "state" attack model);
+   - double encryption (temporal redundancy): the block is encrypted
+     twice from scratch and the two ciphertexts compared word-for-word
+     (catches transient datapath faults that hit only one of the runs).
+
+   Either check failing sets a detection flag. The output is
+   [flag; c0; c1; c2; c3], and the metric classifies the trial the way
+   the fault-attack literature does: 0 = correct, 1 = detected (flag
+   raised), 2 = attack success (flag clear and exactly one ciphertext
+   word corrupted — the differential-fault-analysis-usable case),
+   3 = silent data corruption (flag clear, wider damage). *)
+
+let rounds = 6
+
+let rk_words = 4 * (rounds + 1)
+
+let source ~pt ~rk ~sbox_words ~cksum =
+  Printf.sprintf
+    {|# checksum-guarded toy AES: 4-word block, %d rounds, double encryption
+        .entry start
+start:
+        l.movhi r2, hi(pt)
+        l.ori   r2, r2, lo(pt)
+        l.movhi r3, hi(rk)
+        l.ori   r3, r3, lo(rk)
+        l.movhi r4, hi(sbox)
+        l.ori   r4, r4, lo(sbox)
+        l.movhi r5, hi(state)
+        l.ori   r5, r5, lo(state)
+        l.movhi r6, hi(save)
+        l.ori   r6, r6, lo(save)
+        l.movhi r7, hi(result)
+        l.ori   r7, r7, lo(result)
+        l.nop   0x10                # kernel begin
+        # guard 1: additive checksum over pt, rk and sbox (96 words)
+        l.addi  r12, r0, 96
+        l.ori   r13, r2, 0
+        l.addi  r14, r0, 0
+ck_loop:
+        l.lwz   r15, 0(r13)
+        l.add   r14, r14, r15
+        l.addi  r13, r13, 4
+        l.addi  r12, r12, -1
+        l.sfnei r12, 0
+        l.bf    ck_loop
+        l.movhi r16, hi(cksum)
+        l.ori   r16, r16, lo(cksum)
+        l.lwz   r15, 0(r16)
+        l.addi  r20, r0, 0          # detection flag
+        l.sfeq  r14, r15
+        l.bf    ck_ok
+        l.addi  r20, r0, 1
+ck_ok:
+        # guard 2: encrypt twice from scratch, compare ciphertexts
+        l.jal   encrypt
+        l.lwz   r15, 0(r5)
+        l.sw    0(r6), r15
+        l.lwz   r15, 4(r5)
+        l.sw    4(r6), r15
+        l.lwz   r15, 8(r5)
+        l.sw    8(r6), r15
+        l.lwz   r15, 12(r5)
+        l.sw    12(r6), r15
+        l.jal   encrypt
+        l.addi  r12, r0, 4
+        l.ori   r13, r5, 0
+        l.ori   r14, r6, 0
+cmp_loop:
+        l.lwz   r15, 0(r13)
+        l.lwz   r16, 0(r14)
+        l.sfeq  r15, r16
+        l.bf    cmp_ok
+        l.addi  r20, r0, 1
+cmp_ok:
+        l.addi  r13, r13, 4
+        l.addi  r14, r14, 4
+        l.addi  r12, r12, -1
+        l.sfnei r12, 0
+        l.bf    cmp_loop
+        # output: flag then the (second) ciphertext
+        l.sw    0(r7), r20
+        l.lwz   r15, 0(r5)
+        l.sw    4(r7), r15
+        l.lwz   r15, 4(r5)
+        l.sw    8(r7), r15
+        l.lwz   r15, 8(r5)
+        l.sw    12(r7), r15
+        l.lwz   r15, 12(r5)
+        l.sw    16(r7), r15
+        l.nop   0x11                # kernel end
+        l.nop   0x1                 # exit
+
+# encrypt pt into state (r2=pt, r3=rk, r4=sbox, r5=state; clobbers r12-r19,r21,r22)
+encrypt:
+        l.addi  r12, r0, 4          # whitening: state[i] = pt[i] ^ rk[i]
+        l.ori   r13, r2, 0
+        l.ori   r14, r3, 0
+        l.ori   r15, r5, 0
+wh_loop:
+        l.lwz   r16, 0(r13)
+        l.lwz   r17, 0(r14)
+        l.xor   r16, r16, r17
+        l.sw    0(r15), r16
+        l.addi  r13, r13, 4
+        l.addi  r14, r14, 4
+        l.addi  r15, r15, 4
+        l.addi  r12, r12, -1
+        l.sfnei r12, 0
+        l.bf    wh_loop
+        l.addi  r21, r0, %d         # round counter
+        l.addi  r22, r3, 16         # round-key pointer (past whitening keys)
+round_loop:
+        l.addi  r12, r0, 4          # per word: rotate left 8, substitute bytes
+        l.ori   r13, r5, 0
+word_loop:
+        l.lwz   r16, 0(r13)
+        l.slli  r17, r16, 8
+        l.srli  r16, r16, 24
+        l.or    r16, r17, r16
+        l.addi  r17, r0, 4
+        l.addi  r18, r0, 0
+byte_loop:
+        l.srli  r19, r16, 24
+        l.add   r19, r4, r19
+        l.lbz   r19, 0(r19)
+        l.slli  r18, r18, 8
+        l.or    r18, r18, r19
+        l.slli  r16, r16, 8
+        l.addi  r17, r17, -1
+        l.sfnei r17, 0
+        l.bf    byte_loop
+        l.sw    0(r13), r18
+        l.addi  r13, r13, 4
+        l.addi  r12, r12, -1
+        l.sfnei r12, 0
+        l.bf    word_loop
+        l.lwz   r16, 0(r5)          # mix: s0^=s1; s1^=s2; s2^=s3; s3^=s0
+        l.lwz   r17, 4(r5)
+        l.lwz   r18, 8(r5)
+        l.lwz   r19, 12(r5)
+        l.xor   r16, r16, r17
+        l.xor   r17, r17, r18
+        l.xor   r18, r18, r19
+        l.xor   r19, r19, r16
+        l.sw    0(r5), r16
+        l.sw    4(r5), r17
+        l.sw    8(r5), r18
+        l.sw    12(r5), r19
+        l.addi  r12, r0, 4          # AddRoundKey
+        l.ori   r13, r5, 0
+ark_loop:
+        l.lwz   r16, 0(r13)
+        l.lwz   r17, 0(r22)
+        l.xor   r16, r16, r17
+        l.sw    0(r13), r16
+        l.addi  r13, r13, 4
+        l.addi  r22, r22, 4
+        l.addi  r12, r12, -1
+        l.sfnei r12, 0
+        l.bf    ark_loop
+        l.addi  r21, r21, -1
+        l.sfnei r21, 0
+        l.bf    round_loop
+        l.jr    r9
+
+result: .word 0, 0, 0, 0, 0
+pt:
+%s
+rk:
+%s
+sbox:
+%s
+cksum: .word %d
+state: .space 16
+save:  .space 16
+|}
+    rounds rounds
+    (Bench.format_word_data pt)
+    (Bench.format_word_data rk)
+    (Bench.format_word_data sbox_words)
+    cksum
+
+(* ---------- the OCaml reference, mirroring the assembly exactly ---------- *)
+
+let rotl8 w = ((w lsl 8) land U32.mask) lor (w lsr 24)
+
+let sub_word sbox w =
+  let b i = (w lsr (24 - (8 * i))) land 0xFF in
+  (sbox.(b 0) lsl 24) lor (sbox.(b 1) lsl 16) lor (sbox.(b 2) lsl 8) lor sbox.(b 3)
+
+let encrypt ~sbox ~rk pt =
+  let s = Array.copy pt in
+  for i = 0 to 3 do
+    s.(i) <- s.(i) lxor rk.(i)
+  done;
+  for r = 1 to rounds do
+    for i = 0 to 3 do
+      s.(i) <- sub_word sbox (rotl8 s.(i))
+    done;
+    s.(0) <- s.(0) lxor s.(1);
+    s.(1) <- s.(1) lxor s.(2);
+    s.(2) <- s.(2) lxor s.(3);
+    s.(3) <- s.(3) lxor s.(0);
+    for i = 0 to 3 do
+      s.(i) <- s.(i) lxor rk.((4 * r) + i)
+    done
+  done;
+  s
+
+(* Trial classification codes reported through the metric (the error
+   field of a campaign trial): the attack experiment decodes them back
+   into its success/SDC/detected buckets. *)
+let class_correct = 0.
+
+let class_detected = 1.
+
+let class_attack_success = 2.
+
+let class_sdc = 3.
+
+let classify ~expected ~actual =
+  if actual = expected then class_correct
+  else if actual.(0) <> 0 then class_detected
+  else begin
+    let diffs = ref 0 in
+    for i = 1 to 4 do
+      if actual.(i) <> expected.(i) then incr diffs
+    done;
+    if !diffs = 1 then class_attack_success else class_sdc
+  end
+
+let create ?(seed = 1) () =
+  let rng = Rng.of_int (seed lxor 0xAE5) in
+  (* Random S-box permutation (Fisher-Yates), random keys and block. *)
+  let sbox = Array.init 256 Fun.id in
+  for i = 255 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = sbox.(i) in
+    sbox.(i) <- sbox.(j);
+    sbox.(j) <- t
+  done;
+  let pt = Array.init 4 (fun _ -> Rng.bits32 rng) in
+  let rk = Array.init rk_words (fun _ -> Rng.bits32 rng) in
+  (* Big-endian byte packing, like the l.lbz walk expects: byte [i] of
+     word [w] is sbox byte [4w + i]. *)
+  let sbox_words =
+    Array.init 64 (fun w ->
+        (sbox.(4 * w) lsl 24)
+        lor (sbox.((4 * w) + 1) lsl 16)
+        lor (sbox.((4 * w) + 2) lsl 8)
+        lor sbox.((4 * w) + 3))
+  in
+  let cksum =
+    let sum = ref 0 in
+    Array.iter (fun w -> sum := U32.add !sum w) pt;
+    Array.iter (fun w -> sum := U32.add !sum w) rk;
+    Array.iter (fun w -> sum := U32.add !sum w) sbox_words;
+    !sum
+  in
+  let program = Sfi_isa.Asm.assemble_exn (source ~pt ~rk ~sbox_words ~cksum) in
+  let c = encrypt ~sbox ~rk pt in
+  let golden = [| 0; c.(0); c.(1); c.(2); c.(3) |] in
+  let metric ~expected ~actual = classify ~expected ~actual in
+  {
+    Bench.name = "aes";
+    bench_type = "block cipher (guarded)";
+    compute_rating = "+";
+    control_rating = "+";
+    size_desc = "128-bit block";
+    program;
+    mem_size = 65536;
+    output_addr = Sfi_isa.Program.symbol program "result";
+    output_count = 5;
+    golden;
+    metric_name = "attack class";
+    metric;
+  }
+
+(* Word-address window of the kernel's sensitive data (pt..save), for
+   pointing the "state" attack model at the image instead of empty
+   memory. *)
+let data_word_range bench =
+  let program = bench.Bench.program in
+  let lo = Sfi_isa.Program.symbol program "pt" / 4 in
+  let hi = (Sfi_isa.Program.symbol program "save" / 4) + 4 in
+  (lo, hi)

@@ -7,10 +7,12 @@ let paper_suite ?(seed = 1) () =
     Dijkstra.create ~seed ();
   ]
 
-let extension_suite ?(seed = 1) () = [ Crc32.create ~seed (); Fir.create ~seed () ]
+let extension_suite ?(seed = 1) () =
+  [ Crc32.create ~seed (); Fir.create ~seed (); Aes.create ~seed () ]
 
 let names =
-  [ "median"; "mat_mult_8bit"; "mat_mult_16bit"; "kmeans"; "dijkstra"; "crc32"; "fir" ]
+  [ "median"; "mat_mult_8bit"; "mat_mult_16bit"; "kmeans"; "dijkstra"; "crc32"; "fir";
+    "aes" ]
 
 let by_name ?(seed = 1) name =
   match name with
@@ -21,4 +23,5 @@ let by_name ?(seed = 1) name =
   | "dijkstra" -> Some (Dijkstra.create ~seed ())
   | "crc32" -> Some (Crc32.create ~seed ())
   | "fir" -> Some (Fir.create ~seed ())
+  | "aes" -> Some (Aes.create ~seed ())
   | _ -> None

@@ -5,8 +5,9 @@ val paper_suite : ?seed:int -> unit -> Bench.t list
     rows — at the paper's problem sizes. *)
 
 val extension_suite : ?seed:int -> unit -> Bench.t list
-(** crc32 and fir: kernels beyond the paper's set, exercising the shifter
-    / logic-unit classes and a streaming MAC profile respectively. *)
+(** crc32, fir and aes: kernels beyond the paper's set — shifter /
+    logic-unit classes, a streaming MAC profile, and the checksum-guarded
+    toy-AES attack target respectively. *)
 
 val names : string list
 

@@ -29,11 +29,11 @@ let test_flow_char_db_cached () =
 
 let test_flow_models_constructible () =
   let f = Lazy.force flow in
-  Alcotest.(check string) "B" "B" (Sfi_fi.Model.name (Flow.model_b f ~vdd:0.7));
+  Alcotest.(check string) "B" "B" (Sfi_fi.Model.key (Flow.model_b f ~vdd:0.7));
   Alcotest.(check string) "B+" "B+"
-    (Sfi_fi.Model.name (Flow.model_bplus f ~vdd:0.7 ~sigma:0.01));
-  Alcotest.(check string) "C" "C" (Sfi_fi.Model.name (Flow.model_c f ~vdd:0.7 ~sigma:0.01 ()));
-  Alcotest.(check string) "A" "A" (Sfi_fi.Model.name (Flow.model_a ~bit_flip_prob:0.1))
+    (Sfi_fi.Model.key (Flow.model_bplus f ~vdd:0.7 ~sigma:0.01));
+  Alcotest.(check string) "C" "C" (Sfi_fi.Model.key (Flow.model_c f ~vdd:0.7 ~sigma:0.01 ()));
+  Alcotest.(check string) "A" "A" (Sfi_fi.Model.key (Flow.model_a ~bit_flip_prob:0.1))
 
 let test_flow_summary_mentions_stages () =
   let s = Flow.summary (Lazy.force flow) in

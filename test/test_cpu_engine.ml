@@ -304,7 +304,7 @@ let test_campaign_point_parity () =
      the whole campaign stack quickly; the fault masks perturb control
      flow enough that some trials watchdog or trap. *)
   let bench = Sfi_kernels.Median.create ~n:17 () in
-  let model = Sfi_fi.Model.Fixed_probability { bit_flip_prob = 5e-4 } in
+  let model = Sfi_fi.Model.fixed_probability ~bit_flip_prob:5e-4 [@warning "-3"] in
   let spec =
     Sfi_fi.Campaign.Spec.(default |> with_trials 12 |> with_jobs 1 |> with_seed 42)
   in

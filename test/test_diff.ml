@@ -33,25 +33,21 @@ let sta_with_setup =
 
 let sta_arrivals = lazy (Array.map snd (Sta.analyze (Lazy.force flow_alu).Alu.circuit).Sta.endpoints)
 
+(* Built through the deprecated compat constructors on purpose: these
+   tests also pin that the variant-era entry points still produce the
+   registry models bit-identically. *)
 let model_b ?(sigma = 0.) () =
-  Model.Static_timing
-    {
-      endpoint_arrivals = Lazy.force sta_arrivals;
-      setup_ps = Sta.default_setup_ps;
-      vdd = 0.7;
-      noise = (if sigma = 0. then Noise.none else Noise.create ~sigma ());
-      vdd_model = Vdd_model.default;
-    }
+  Model.static_timing ~endpoint_arrivals:(Lazy.force sta_arrivals)
+    ~setup_ps:Sta.default_setup_ps ~vdd:0.7
+    ~noise:(if sigma = 0. then Noise.none else Noise.create ~sigma ())
+    ~vdd_model:Vdd_model.default
+[@@warning "-3"]
 
 let model_c ?(sampling = Model.Independent) ?(sigma = 0.) () =
-  Model.Statistical
-    {
-      db = Lazy.force char_db;
-      vdd = 0.7;
-      noise = (if sigma = 0. then Noise.none else Noise.create ~sigma ());
-      vdd_model = Vdd_model.default;
-      sampling;
-    }
+  Model.statistical ~db:(Lazy.force char_db) ~vdd:0.7
+    ~noise:(if sigma = 0. then Noise.none else Noise.create ~sigma ())
+    ~vdd_model:Vdd_model.default ~sampling
+[@@warning "-3"]
 
 (* B's fault onset: period = slowest STA arrival incl. setup. *)
 let onset_b_mhz () =
@@ -230,7 +226,7 @@ let test_model_a_frequency_invariant () =
   let masks_at freq =
     let inj =
       Injector.create
-        ~model:(Model.Fixed_probability { bit_flip_prob = 0.01 })
+        ~model:(Model.fixed_probability ~bit_flip_prob:0.01 [@warning "-3"])
         ~freq_mhz:freq ~rng:(Rng.of_int 55) ()
     in
     let hook = Injector.hook inj in

@@ -42,7 +42,7 @@ let with_obs f =
   let r = f () in
   (r, Sfi_obs.det_signature ())
 
-let model_a p = Model.Fixed_probability { bit_flip_prob = p }
+let model_a p = Model.fixed_probability ~bit_flip_prob:p [@@warning "-3"]
 
 let point_equal (p : Campaign.point) (q : Campaign.point) =
   Campaign.Point_json.(to_string (of_point p) = to_string (of_point q))

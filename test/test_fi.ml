@@ -19,45 +19,36 @@ let sta_arrivals =
     (let alu = Lazy.force flow_alu in
      Array.map snd (Sta.analyze alu.Alu.circuit).Sta.endpoints)
 
+(* Built through the deprecated compat constructors on purpose: the
+   variant-era entry points must keep producing the registry models. *)
+let model_a p = Model.fixed_probability ~bit_flip_prob:p [@@warning "-3"]
+
 let model_b () =
-  Model.Static_timing
-    {
-      endpoint_arrivals = Lazy.force sta_arrivals;
-      setup_ps = Sta.default_setup_ps;
-      vdd = 0.7;
-      noise = Noise.none;
-      vdd_model = Vdd_model.default;
-    }
+  Model.static_timing ~endpoint_arrivals:(Lazy.force sta_arrivals)
+    ~setup_ps:Sta.default_setup_ps ~vdd:0.7 ~noise:Noise.none
+    ~vdd_model:Vdd_model.default
+[@@warning "-3"]
 
 let model_bplus sigma =
-  Model.Static_timing
-    {
-      endpoint_arrivals = Lazy.force sta_arrivals;
-      setup_ps = Sta.default_setup_ps;
-      vdd = 0.7;
-      noise = Noise.create ~sigma ();
-      vdd_model = Vdd_model.default;
-    }
+  Model.static_timing ~endpoint_arrivals:(Lazy.force sta_arrivals)
+    ~setup_ps:Sta.default_setup_ps ~vdd:0.7 ~noise:(Noise.create ~sigma ())
+    ~vdd_model:Vdd_model.default
+[@@warning "-3"]
 
 let model_c ?(sampling = Model.Independent) ?(vdd = 0.7) sigma =
-  Model.Statistical
-    {
-      db = Lazy.force char_db;
-      vdd;
-      noise = Noise.create ~sigma ();
-      vdd_model = Vdd_model.default;
-      sampling;
-    }
+  Model.statistical ~db:(Lazy.force char_db) ~vdd ~noise:(Noise.create ~sigma ())
+    ~vdd_model:Vdd_model.default ~sampling
+[@@warning "-3"]
 
 (* ---------- Model ---------- *)
 
 let test_model_names () =
-  Alcotest.(check string) "A" "A" (Model.name (Model.Fixed_probability { bit_flip_prob = 0.1 }));
-  Alcotest.(check string) "B" "B" (Model.name (model_b ()));
-  Alcotest.(check string) "B+" "B+" (Model.name (model_bplus 0.01));
-  Alcotest.(check string) "C" "C" (Model.name (model_c 0.01));
+  Alcotest.(check string) "A" "A" (Model.key (model_a 0.1));
+  Alcotest.(check string) "B" "B" (Model.key (model_b ()));
+  Alcotest.(check string) "B+" "B+" (Model.key (model_bplus 0.01));
+  Alcotest.(check string) "C" "C" (Model.key (model_c 0.01));
   Alcotest.(check string) "C-corr" "C-corr"
-    (Model.name (model_c ~sampling:Model.Vector_correlated 0.01))
+    (Model.key (model_c ~sampling:Model.Vector_correlated 0.01))
 
 let test_model_feature_rows () =
   let rows = Model.feature_rows () in
@@ -76,7 +67,7 @@ let hook_call injector =
 let test_injector_a_zero_prob_never_fires () =
   let rng = Rng.of_int 1 in
   let injector =
-    Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 0. }) ~freq_mhz:707.
+    Injector.create ~model:(model_a 0.) ~freq_mhz:707.
       ~rng ()
   in
   Alcotest.(check bool) "cannot inject" true (Injector.cannot_inject injector);
@@ -87,7 +78,7 @@ let test_injector_a_zero_prob_never_fires () =
 let test_injector_a_prob_one_flips_everything () =
   let rng = Rng.of_int 2 in
   let injector =
-    Injector.create ~model:(Model.Fixed_probability { bit_flip_prob = 1. }) ~freq_mhz:707.
+    Injector.create ~model:(model_a 1.) ~freq_mhz:707.
       ~rng ()
   in
   Alcotest.(check int) "all 32 bits" 0xFFFF_FFFF (hook_call injector);
@@ -231,7 +222,7 @@ let spec ?(trials = 100) ?(seed = 1) ?jobs () =
 let test_campaign_fault_free_point () =
   let p =
     Campaign.run (spec ~trials:5 ()) ~bench:(Lazy.force small_median)
-      ~model:(Model.Fixed_probability { bit_flip_prob = 0. })
+      ~model:(model_a 0.)
       ~freq_mhz:707.
   in
   Alcotest.(check (float 0.)) "finished" 1.0 p.Campaign.finished_rate;
@@ -242,7 +233,7 @@ let test_campaign_fault_free_point () =
 let test_campaign_saturated_faults_break_everything () =
   let p =
     Campaign.run (spec ~trials:5 ()) ~bench:(Lazy.force small_median)
-      ~model:(Model.Fixed_probability { bit_flip_prob = 0.5 })
+      ~model:(model_a 0.5)
       ~freq_mhz:707.
   in
   Alcotest.(check (float 0.)) "nothing correct" 0.0 p.Campaign.correct_rate;

@@ -312,7 +312,7 @@ let prop_snapshot_roundtrip =
 
 let ff_bench = lazy (Option.get (Sfi_kernels.Registry.by_name "median"))
 
-let ff_model = Sfi_fi.Model.Fixed_probability { bit_flip_prob = 0.002 }
+let ff_model = Sfi_fi.Model.fixed_probability ~bit_flip_prob:0.002 [@@warning "-3"]
 
 let ff_trace =
   lazy
